@@ -1,0 +1,67 @@
+// Command microbench reproduces the paper's end-to-end microbenchmarks:
+// Table 1 (control-plane operation latencies), Figure 7 (backup-server
+// multiplexing), Figure 8 (concurrent restoration), and Figure 9 (TPC-W
+// response time during lazy restoration).
+//
+// Usage:
+//
+//	microbench [-exp all|table1|fig7|fig8|fig9] [-samples 20] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7, fig8, fig9")
+	samples := flag.Int("samples", 20, "samples per operation for Table 1")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *samples, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, samples int, seed int64) error {
+	want := func(f string) bool { return exp == "all" || exp == f }
+	any := false
+	if want("table1") {
+		any = true
+		t, err := experiments.Table1(samples, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, t.String())
+		fmt.Fprintln(w)
+	}
+	if want("fig7") {
+		any = true
+		fmt.Fprint(w, experiments.Fig7Table(experiments.Fig7(nil)).String())
+		fmt.Fprintln(w)
+	}
+	if want("fig8") {
+		any = true
+		rows, err := experiments.Fig8(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.Fig8Table(rows).String())
+		fmt.Fprintln(w)
+	}
+	if want("fig9") {
+		any = true
+		fmt.Fprint(w, experiments.Fig9Table(experiments.Fig9(nil)).String())
+		fmt.Fprintln(w)
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "all", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "Fig 7", "Fig 8", "Fig 9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "fig9", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Table 1") {
+		t.Error("unrequested experiment printed")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nope", 5, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Command pricestats reproduces the paper's spot-market characterization:
+// Figure 1 (price timeseries with spikes above on-demand) and Figures 6a-6d
+// (availability-vs-bid CDFs, hourly jump CDFs, and cross-zone / cross-type
+// correlation matrices).
+//
+// Usage:
+//
+//	pricestats [-fig all|1|6a|6b|6c|6d] [-months 6] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cloud"
+	"repro/internal/experiments"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to reproduce: all, 1, 6a, 6b, 6c, 6d, bidcurve")
+	months := flag.Float64("months", 6, "trace horizon in months")
+	seed := flag.Int64("seed", 42, "generator seed")
+	traces := flag.String("traces", "", "replay a price archive instead of generating: CSV from tracegen, or AWS describe-spot-price-history CSV (figures 6a/6b only)")
+	flag.Parse()
+
+	var set spotmarket.Set
+	if *traces != "" {
+		var err error
+		set, err = loadTraces(*traces)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pricestats:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(os.Stdout, *fig, *months, *seed, set); err != nil {
+		fmt.Fprintln(os.Stderr, "pricestats:", err)
+		os.Exit(1)
+	}
+}
+
+// loadTraces reads either this repo's CSV schema or the AWS price-history
+// schema, sniffing by header.
+func loadTraces(path string) (spotmarket.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	header := make([]byte, 9)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if string(header) == "timestamp" {
+		return spotmarket.ReadAWSPriceHistory(f, time.Time{})
+	}
+	return spotmarket.ReadCSV(f)
+}
+
+func run(w io.Writer, fig string, months float64, seed int64, replay spotmarket.Set) error {
+	horizon := simkit.Time(float64(30*simkit.Day) * months)
+	want := func(f string) bool { return fig == "all" || fig == f }
+	ran := false
+
+	if want("1") {
+		ran = true
+		s, err := experiments.Fig1(seed)
+		if err != nil {
+			return err
+		}
+		chart := analysis.AsciiChart{
+			Title:   s.Name + " [log scale, dashes = on-demand price]",
+			YMarker: 0.06,
+			LogY:    true,
+		}
+		fmt.Fprint(w, chart.Render(s.X, s.Y))
+		fmt.Fprintln(w)
+	}
+	if want("6a") {
+		ran = true
+		var rows []experiments.Fig6aRow
+		if replay != nil {
+			rows = experiments.Fig6aFromSet(replay)
+		} else {
+			var err error
+			rows, err = experiments.Fig6a(horizon, seed)
+			if err != nil {
+				return err
+			}
+		}
+		if len(rows) == 0 {
+			return fmt.Errorf("no markets for figure 6a")
+		}
+		headers := []string{"ratio"}
+		for _, r := range rows {
+			headers = append(headers, r.Type)
+		}
+		t := analysis.NewTable("Fig 6a: availability CDF vs bid/on-demand ratio", headers...)
+		for i, ratio := range rows[0].Ratios {
+			cells := []any{ratio}
+			for _, r := range rows {
+				cells = append(cells, r.Avail[i])
+			}
+			t.AddRow(cells...)
+		}
+		fmt.Fprint(w, t.String())
+		fmt.Fprintln(w)
+	}
+	if want("6b") {
+		ran = true
+		var inc, dec *analysis.CDF
+		if replay != nil {
+			inc, dec = experiments.Fig6bFromSet(replay)
+		} else {
+			var err error
+			inc, dec, err = experiments.Fig6b(horizon, seed)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprint(w, experiments.JumpCDFTable(inc, dec).String())
+		fmt.Fprintf(w, "max increase %.0f%%, max decrease %.0f%%\n\n", inc.Max(), dec.Max())
+	}
+	if want("6c") {
+		ran = true
+		m, err := experiments.Fig6c(18, horizon, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderCorrelation("Fig 6c: price correlations across 18 zones", m))
+		fmt.Fprintln(w)
+	}
+	if want("6d") {
+		ran = true
+		m, err := experiments.Fig6d(15, horizon, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderCorrelation("Fig 6d: price correlations across 15 instance types", m))
+		fmt.Fprintln(w)
+	}
+	if want("bidcurve") {
+		ran = true
+		set, err := experiments.EvalTraces(horizon, seed)
+		if err != nil {
+			return err
+		}
+		for _, key := range set.Keys() {
+			var od cloud.USD
+			for _, it := range cloud.DefaultCatalog() {
+				if it.Name == key.Type {
+					od = it.OnDemand
+				}
+			}
+			points := experiments.BidCurve(set[key], od, nil, 23*simkit.Second)
+			fmt.Fprint(w, experiments.BidCurveTable(
+				fmt.Sprintf("Bid curve (%s, on-demand $%.2f/hr): expected cost & availability vs bid", key, float64(od)),
+				points).String())
+			if knee, err := experiments.Knee(points, 0.005); err == nil {
+				fmt.Fprintf(w, "knee at bid = %.2fx on-demand\n", knee.Ratio)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want all, 1, 6a, 6b, 6c, 6d or bidcurve)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "all", 1, 42, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig 1", "Fig 6a", "Fig 6b", "Fig 6c", "Fig 6d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "6b", 1, 42, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Fig 6a") {
+		t.Error("unrequested figure printed")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "99", 1, 42, nil); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestLoadTracesBothSchemas(t *testing.T) {
+	dir := t.TempDir()
+
+	native := filepath.Join(dir, "native.csv")
+	nativeData := "type,zone,offset_seconds,price_usd_per_hr\nm3.medium,zone-a,0,0.01\nm3.medium,zone-a,3600,0.02\n"
+	if err := os.WriteFile(native, []byte(nativeData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err := loadTraces(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("native set = %d markets", len(set))
+	}
+
+	aws := filepath.Join(dir, "aws.csv")
+	awsData := "timestamp,instance_type,availability_zone,price\n2014-04-01T00:00:00Z,m3.medium,us-east-1a,0.0081\n2014-04-01T01:00:00Z,m3.medium,us-east-1a,0.0090\n"
+	if err := os.WriteFile(aws, []byte(awsData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err = loadTraces(aws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("aws set = %d markets", len(set))
+	}
+
+	if _, err := loadTraces(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	// Replayed figures render without the synthetic generator.
+	var b strings.Builder
+	if err := run(&b, "6a", 1, 0, set); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "us-east-1a") {
+		t.Errorf("replayed market missing from output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,304 @@
+// Command spotcheckd runs a live SpotCheck derivative cloud over the
+// simulated native IaaS platform and exposes an EC2-like HTTP management
+// API. Virtual time advances continuously at a configurable speedup so spot
+// price dynamics, revocations and migrations happen while you watch.
+//
+// Usage:
+//
+//	spotcheckd [-listen :8080] [-speedup 60] [-seed 42] [-months 6]
+//
+// API:
+//
+//	POST   /servers?customer=alice&type=m3.medium   create a nested VM
+//	GET    /servers                                 list nested VMs
+//	GET    /servers/{id}                            describe one VM
+//	DELETE /servers/{id}                            release a VM
+//	GET    /servers/{id}/events                     the VM's audit timeline
+//	GET    /servers/{id}/estimate                   what a revocation would cost now
+//	GET    /pools                                   server pool summary
+//	GET    /prices                                  current spot prices
+//	GET    /report                                  cost/availability report
+//	GET    /customers                               per-tenant accounting
+//	GET    /status                                  operator status (text)
+//	POST   /advance?d=1h                            advance virtual time
+//	GET    /clock                                   current virtual time
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/migration"
+	"repro/internal/nestedvm"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+type daemon struct {
+	mu    sync.Mutex
+	sched *simkit.Scheduler
+	plat  *cloudsim.Platform
+	ctrl  *core.Controller
+}
+
+func newDaemon(months float64, seed int64) (*daemon, error) {
+	horizon := simkit.Time(float64(30*simkit.Day) * months)
+	traces, err := experiments.EvalTraces(horizon, seed)
+	if err != nil {
+		return nil, err
+	}
+	sched := simkit.NewScheduler()
+	plat, err := cloudsim.New(sched, cloudsim.Config{Traces: traces, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := core.New(core.Config{
+		Scheduler: sched,
+		Provider:  plat,
+		Mechanism: migration.SpotCheckLazy,
+		Placement: core.Policy4PED(),
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{sched: sched, plat: plat, ctrl: ctrl}, nil
+}
+
+// advance moves virtual time forward under the lock.
+func (d *daemon) advance(dt simkit.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sched.RunUntil(d.sched.Now() + dt)
+}
+
+func (d *daemon) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("spotcheckd: encode: %v", err)
+	}
+}
+
+func (d *daemon) writeErr(w http.ResponseWriter, status int, err error) {
+	d.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (d *daemon) handleServers(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch r.Method {
+	case http.MethodPost:
+		customer := r.URL.Query().Get("customer")
+		typ := r.URL.Query().Get("type")
+		if customer == "" {
+			customer = "default"
+		}
+		if typ == "" {
+			typ = cloud.M3Medium
+		}
+		id, err := d.ctrl.RequestServerWithOptions(core.ServerOptions{
+			Customer:  customer,
+			Type:      typ,
+			Stateless: r.URL.Query().Get("stateless") == "true",
+		})
+		if err != nil {
+			d.writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		d.writeJSON(w, http.StatusCreated, map[string]string{"id": string(id)})
+	case http.MethodGet:
+		d.writeJSON(w, http.StatusOK, d.ctrl.ListVMs())
+	default:
+		d.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (d *daemon) handleServer(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/servers/")
+	if idStr, ok := strings.CutSuffix(rest, "/events"); ok {
+		d.handleServerEvents(w, r, nestedvm.ID(idStr))
+		return
+	}
+	if idStr, ok := strings.CutSuffix(rest, "/estimate"); ok {
+		d.handleServerEstimate(w, r, nestedvm.ID(idStr))
+		return
+	}
+	id := nestedvm.ID(rest)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		info, err := d.ctrl.DescribeVM(id)
+		if err != nil {
+			d.writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		d.writeJSON(w, http.StatusOK, info)
+	case http.MethodDelete:
+		if err := d.ctrl.ReleaseServer(id); err != nil {
+			d.writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		d.writeJSON(w, http.StatusOK, map[string]string{"released": string(id)})
+	default:
+		d.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (d *daemon) handleServerEvents(w http.ResponseWriter, r *http.Request, id nestedvm.ID) {
+	if r.Method != http.MethodGet {
+		d.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.ctrl.DescribeVM(id); err != nil {
+		d.writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	d.writeJSON(w, http.StatusOK, d.ctrl.Events(id))
+}
+
+func (d *daemon) handleServerEstimate(w http.ResponseWriter, r *http.Request, id nestedvm.ID) {
+	if r.Method != http.MethodGet {
+		d.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	est, err := d.ctrl.EstimateMigration(id)
+	if err != nil {
+		d.writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	d.writeJSON(w, http.StatusOK, est)
+}
+
+func (d *daemon) handlePools(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeJSON(w, http.StatusOK, d.ctrl.Pools())
+}
+
+func (d *daemon) handlePrices(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	type price struct {
+		Type     string    `json:"type"`
+		Zone     string    `json:"zone"`
+		Spot     cloud.USD `json:"spot"`
+		OnDemand cloud.USD `json:"onDemand"`
+	}
+	var out []price
+	for _, typ := range d.plat.Catalog() {
+		for _, zone := range d.plat.Zones() {
+			p, err := d.plat.SpotPrice(typ.Name, zone)
+			if err != nil {
+				continue
+			}
+			out = append(out, price{Type: typ.Name, Zone: string(zone), Spot: p, OnDemand: typ.OnDemand})
+		}
+	}
+	d.writeJSON(w, http.StatusOK, out)
+}
+
+func (d *daemon) handleReport(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeJSON(w, http.StatusOK, d.ctrl.Report())
+}
+
+func (d *daemon) handleCustomers(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeJSON(w, http.StatusOK, d.ctrl.Customers())
+}
+
+func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, d.ctrl.StatusText())
+}
+
+func (d *daemon) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		d.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	dur, err := time.ParseDuration(r.URL.Query().Get("d"))
+	if err != nil || dur <= 0 {
+		d.writeErr(w, http.StatusBadRequest, fmt.Errorf("need positive duration d, e.g. ?d=1h"))
+		return
+	}
+	d.advance(simkit.Time(dur))
+	d.handleClock(w, r)
+}
+
+func (d *daemon) handleClock(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeJSON(w, http.StatusOK, map[string]string{"virtualTime": d.sched.Now().String()})
+}
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	speedup := flag.Float64("speedup", 60, "virtual seconds per wall second (0 = manual /advance only)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	months := flag.Float64("months", 6, "spot price trace horizon in months")
+	flag.Parse()
+
+	d, err := newDaemon(*months, *seed)
+	if err != nil {
+		log.Fatal("spotcheckd: ", err)
+	}
+	if *speedup > 0 {
+		go func() {
+			const tick = 100 * time.Millisecond
+			for range time.Tick(tick) {
+				d.advance(simkit.Time(float64(tick) * *speedup))
+			}
+		}()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/servers", d.handleServers)
+	mux.HandleFunc("/servers/", d.handleServer)
+	mux.HandleFunc("/pools", d.handlePools)
+	mux.HandleFunc("/prices", d.handlePrices)
+	mux.HandleFunc("/report", d.handleReport)
+	mux.HandleFunc("/customers", d.handleCustomers)
+	mux.HandleFunc("/status", d.handleStatus)
+	mux.HandleFunc("/advance", d.handleAdvance)
+	mux.HandleFunc("/clock", d.handleClock)
+
+	log.Printf("spotcheckd: listening on %s (speedup %.0fx, markets %v)",
+		*listen, *speedup, marketNames())
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+func marketNames() []string {
+	keys := []spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: experiments.EvalZone},
+		{Type: cloud.M3Large, Zone: experiments.EvalZone},
+		{Type: cloud.M3XLarge, Zone: experiments.EvalZone},
+		{Type: cloud.M32XLarge, Zone: experiments.EvalZone},
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k.String()
+	}
+	return out
+}

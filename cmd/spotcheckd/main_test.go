@@ -1,0 +1,316 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/simkit"
+)
+
+func testServer(t *testing.T) (*daemon, *httptest.Server) {
+	t.Helper()
+	d, err := newDaemon(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/servers", d.handleServers)
+	mux.HandleFunc("/servers/", d.handleServer)
+	mux.HandleFunc("/pools", d.handlePools)
+	mux.HandleFunc("/prices", d.handlePrices)
+	mux.HandleFunc("/report", d.handleReport)
+	mux.HandleFunc("/customers", d.handleCustomers)
+	mux.HandleFunc("/advance", d.handleAdvance)
+	mux.HandleFunc("/clock", d.handleClock)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func decode(t *testing.T, resp *http.Response, wantStatus int, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	_, srv := testServer(t)
+	client := srv.Client()
+
+	// Create a server.
+	resp, err := client.Post(srv.URL+"/servers?customer=alice&type=m3.medium", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	decode(t, resp, http.StatusCreated, &created)
+	id := created["id"]
+	if !strings.HasPrefix(id, "nvm-") {
+		t.Fatalf("id = %q", id)
+	}
+
+	// Advance virtual time so provisioning completes.
+	resp, err = client.Post(srv.URL+"/advance?d=30m", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock map[string]string
+	decode(t, resp, http.StatusOK, &clock)
+	if clock["virtualTime"] != "30m0s" {
+		t.Errorf("clock = %v", clock)
+	}
+
+	// Describe it.
+	resp, err = client.Get(srv.URL + "/servers/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Phase, Market, IP string
+	}
+	decode(t, resp, http.StatusOK, &info)
+	if info.Phase != "running" {
+		t.Errorf("phase = %q, want running", info.Phase)
+	}
+	if info.IP == "" {
+		t.Error("no IP assigned")
+	}
+
+	// List includes it.
+	resp, err = client.Get(srv.URL + "/servers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []struct{ ID string }
+	decode(t, resp, http.StatusOK, &list)
+	if len(list) != 1 || list[0].ID != id {
+		t.Errorf("list = %+v", list)
+	}
+
+	// Pools and prices respond.
+	resp, err = client.Get(srv.URL + "/pools")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusOK, nil)
+	resp, err = client.Get(srv.URL + "/prices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prices []struct {
+		Type     string  `json:"type"`
+		Spot     float64 `json:"spot"`
+		OnDemand float64 `json:"onDemand"`
+	}
+	decode(t, resp, http.StatusOK, &prices)
+	if len(prices) == 0 {
+		t.Fatal("no prices")
+	}
+	for _, p := range prices {
+		if p.Spot <= 0 || p.OnDemand <= 0 {
+			t.Errorf("bad price row %+v", p)
+		}
+	}
+
+	// Report accounts the VM.
+	resp, err = client.Get(srv.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct{ VMHours float64 }
+	decode(t, resp, http.StatusOK, &report)
+	if report.VMHours <= 0 {
+		t.Errorf("VMHours = %v", report.VMHours)
+	}
+
+	// Release it.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/servers/"+id, nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusOK, nil)
+	// Double release 404s.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/servers/"+id, nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusNotFound, nil)
+}
+
+func TestDaemonErrors(t *testing.T) {
+	_, srv := testServer(t)
+	client := srv.Client()
+
+	resp, err := client.Post(srv.URL+"/servers?type=bogus", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusBadRequest, nil)
+
+	resp, err = client.Get(srv.URL + "/servers/nvm-99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusNotFound, nil)
+
+	resp, err = client.Post(srv.URL+"/advance?d=-1h", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusBadRequest, nil)
+
+	resp, err = client.Get(srv.URL + "/advance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusMethodNotAllowed, nil)
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/servers", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusMethodNotAllowed, nil)
+}
+
+func TestDaemonAdvanceDrivesMigration(t *testing.T) {
+	d, srv := testServer(t)
+	client := srv.Client()
+	resp, err := client.Post(srv.URL+"/servers?customer=alice", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	decode(t, resp, http.StatusCreated, &created)
+
+	// Run two simulated weeks: the 4P-ED placement rides real synthetic
+	// markets, so revocations and migrations happen.
+	d.advance(14 * 24 * simkit.Hour)
+
+	resp, err = client.Get(srv.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		VMHours      float64
+		Availability float64
+	}
+	decode(t, resp, http.StatusOK, &report)
+	if report.VMHours < 300 {
+		t.Errorf("VMHours = %v, want ~336", report.VMHours)
+	}
+	if report.Availability < 0.99 {
+		t.Errorf("availability = %v", report.Availability)
+	}
+}
+
+func TestDaemonCustomers(t *testing.T) {
+	d, srv := testServer(t)
+	client := srv.Client()
+	for _, customer := range []string{"alice", "alice", "bob"} {
+		resp, err := client.Post(srv.URL+"/servers?customer="+customer, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode(t, resp, http.StatusCreated, nil)
+	}
+	d.advance(24 * simkit.Hour)
+	resp, err := client.Get(srv.URL + "/customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var customers []struct {
+		Customer string
+		VMs      int
+		VMHours  float64
+	}
+	decode(t, resp, http.StatusOK, &customers)
+	if len(customers) != 2 {
+		t.Fatalf("customers = %+v", customers)
+	}
+	if customers[0].Customer != "alice" || customers[0].VMs != 2 {
+		t.Errorf("alice row = %+v", customers[0])
+	}
+	if customers[1].Customer != "bob" || customers[1].VMs != 1 {
+		t.Errorf("bob row = %+v", customers[1])
+	}
+	if customers[0].VMHours <= customers[1].VMHours {
+		t.Error("alice (2 VMs) should have more VM-hours than bob (1)")
+	}
+}
+
+func TestDaemonServerEvents(t *testing.T) {
+	d, srv := testServer(t)
+	client := srv.Client()
+	resp, err := client.Post(srv.URL+"/servers?customer=alice", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	decode(t, resp, http.StatusCreated, &created)
+	d.advance(simkit.Hour)
+
+	resp, err = client.Get(srv.URL + "/servers/" + created["id"] + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Kind   string `json:"kind"`
+		Detail string `json:"detail"`
+	}
+	decode(t, resp, http.StatusOK, &events)
+	if len(events) < 2 || events[0].Kind != "requested" || events[1].Kind != "placed" {
+		t.Errorf("events = %+v", events)
+	}
+
+	resp, err = client.Get(srv.URL + "/servers/nvm-none/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusNotFound, nil)
+}
+
+func TestDaemonEstimate(t *testing.T) {
+	d, srv := testServer(t)
+	client := srv.Client()
+	resp, err := client.Post(srv.URL+"/servers?customer=alice", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	decode(t, resp, http.StatusCreated, &created)
+	d.advance(simkit.Hour)
+
+	resp, err = client.Get(srv.URL + "/servers/" + created["id"] + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est struct {
+		TotalDowntime int64
+		BreaksTCP     bool
+	}
+	decode(t, resp, http.StatusOK, &est)
+	if est.TotalDowntime <= 0 {
+		t.Errorf("estimate = %+v", est)
+	}
+	if est.BreaksTCP {
+		t.Error("SpotCheck-lazy estimate should not break TCP")
+	}
+	resp, err = client.Get(srv.URL + "/servers/nvm-none/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusNotFound, nil)
+}

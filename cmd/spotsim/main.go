@@ -1,0 +1,92 @@
+// Command spotsim runs the paper's six-month policy simulations: Figure 10
+// (average cost per VM-hour), Figure 11 (unavailability), Figure 12
+// (performance degradation), Table 3 (concurrent-revocation storms) and the
+// headline cost/availability comparison.
+//
+// Usage:
+//
+//	spotsim [-exp all|fig10|fig11|fig12|table3|headline] [-vms 40] [-months 6] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/simkit"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations")
+	vms := flag.Int("vms", 40, "nested VM fleet size")
+	months := flag.Float64("months", 6, "simulation horizon in months")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *vms, *months, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "spotsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, vms int, months float64, seed int64) error {
+	horizon := simkit.Time(float64(30*simkit.Day) * months)
+	want := func(f string) bool { return exp == "all" || exp == f }
+
+	needMatrix := want("fig10") || want("fig11") || want("fig12")
+	if needMatrix {
+		fmt.Fprintf(os.Stderr, "spotsim: running %d simulations (%d VMs, %.1f months)...\n",
+			5*4, vms, months)
+		matrix, err := experiments.PolicyMatrix(vms, horizon, seed)
+		if err != nil {
+			return err
+		}
+		if want("fig10") {
+			fmt.Fprint(w, experiments.Fig10Bars(matrix).String())
+			fmt.Fprintln(w)
+		}
+		if want("fig11") {
+			fmt.Fprint(w, experiments.Fig11Bars(matrix).String())
+			fmt.Fprintln(w)
+		}
+		if want("fig12") {
+			fmt.Fprint(w, experiments.Fig12Bars(matrix).String())
+			fmt.Fprintln(w)
+		}
+	}
+	if want("table3") {
+		rows, err := experiments.Table3(vms, horizon, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.Table3Render(rows, vms).String())
+		fmt.Fprintln(w)
+	}
+	if want("headline") {
+		h, err := experiments.RunHeadline(vms, horizon, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Headline (1P-M, SpotCheck lazy, %d VMs, %.1f months):\n", vms, months)
+		fmt.Fprintf(w, "  cost per VM-hour:     $%.4f (on-demand $%.4f)\n", h.CostPerVMHour, h.OnDemandPerHour)
+		fmt.Fprintf(w, "  savings:              %.1fx\n", h.Savings)
+		fmt.Fprintf(w, "  availability:         %.4f%% (paper: 99.9989%%)\n", 100*h.Availability)
+		fmt.Fprintf(w, "  migrations:           %d\n", h.Migrations)
+		fmt.Fprintf(w, "  VMs lost:             %d (must be 0)\n", h.VMsLost)
+		fmt.Fprintln(w)
+	}
+	if want("ablations") {
+		fmt.Fprintln(os.Stderr, "spotsim: running ablation studies...")
+		out, err := experiments.RenderAblations(vms, horizon, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	}
+	if !needMatrix && !want("table3") && !want("headline") && !want("ablations") {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunHeadlineAndTable3(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "headline", 8, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "savings:") {
+		t.Error("headline output missing")
+	}
+	b.Reset()
+	if err := run(&b, "table3", 8, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table 3") {
+		t.Error("table 3 output missing")
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "fig11", 6, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fig 11") {
+		t.Error("fig 11 missing")
+	}
+	if strings.Contains(out, "Fig 10") {
+		t.Error("unrequested figure printed")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nope", 8, 0.5, 42); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

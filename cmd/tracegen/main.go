@@ -1,0 +1,80 @@
+// Command tracegen generates synthetic spot-price traces calibrated to the
+// paper's Figure 6 statistics and writes them as CSV, ready for replay by
+// the other tools (pricestats, spotsim) or by external analysis.
+//
+// Usage:
+//
+//	tracegen [-months 6] [-seed 42] [-zones 1] [-out traces.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+func main() {
+	months := flag.Float64("months", 6, "trace horizon in months (30-day months)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	zones := flag.Int("zones", 1, "availability zones per type")
+	out := flag.String("out", "-", "output CSV path ('-' for stdout)")
+	flag.Parse()
+
+	if err := run(*months, *seed, *zones, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(months float64, seed int64, zones int, out string) error {
+	if months <= 0 || zones <= 0 {
+		return fmt.Errorf("months and zones must be positive")
+	}
+	horizon := simkit.Time(float64(30*simkit.Day) * months)
+	vols := map[string]spotmarket.Volatility{
+		cloud.M3Medium:  spotmarket.VolatilityLow,
+		cloud.M3Large:   spotmarket.VolatilityMedium,
+		cloud.M3XLarge:  spotmarket.VolatilityHigh,
+		cloud.M32XLarge: spotmarket.VolatilityExtreme,
+	}
+	configs := map[spotmarket.MarketKey]spotmarket.GenConfig{}
+	for _, typ := range cloud.DefaultCatalog() {
+		vol, ok := vols[typ.Name]
+		if !ok {
+			continue
+		}
+		for z := 0; z < zones; z++ {
+			zone := cloud.Zone(fmt.Sprintf("zone-%c", 'a'+z))
+			key := spotmarket.MarketKey{Type: typ.Name, Zone: zone}
+			configs[key] = spotmarket.DefaultConfig(typ.OnDemand, vol)
+		}
+	}
+	set, err := spotmarket.GenerateSet(configs, horizon, seed)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := spotmarket.WriteCSV(w, set); err != nil {
+		return err
+	}
+	total := 0
+	for _, k := range set.Keys() {
+		total += set[k].Len()
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d markets, %d price points over %.1f months (seed %d)\n",
+		len(set), total, months, seed)
+	return nil
+}

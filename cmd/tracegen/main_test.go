@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/spotmarket"
+)
+
+func TestRunWritesReplayableCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.csv")
+	if err := run(1, 7, 2, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	set, err := spotmarket.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 m3 types x 2 zones.
+	if len(set) != 8 {
+		t.Fatalf("markets = %d, want 8", len(set))
+	}
+	for _, k := range set.Keys() {
+		if set[k].Len() == 0 {
+			t.Errorf("market %v empty", k)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(0, 1, 1, "-"); err == nil {
+		t.Error("zero months accepted")
+	}
+	if err := run(1, 1, 0, "-"); err == nil {
+		t.Error("zero zones accepted")
+	}
+	if err := run(1, 1, 1, "/nonexistent-dir/x.csv"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Multitenant: SpotCheck is a *derivative* cloud — it rents native servers
+// wholesale and resells nested VMs to many customers (Figure 2). This
+// example runs three tenants with different fleet sizes and service levels
+// (one runs stateless web servers), then prints the per-customer bill a
+// derivative cloud operator would issue, against what each tenant would
+// have paid the native platform for on-demand servers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/migration"
+	"repro/internal/simkit"
+)
+
+func main() {
+	const horizon = 30 * simkit.Day
+	traces, err := experiments.EvalTraces(horizon, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := simkit.NewScheduler()
+	platform, err := cloudsim.New(sched, cloudsim.Config{
+		Traces: traces,
+		Seed:   21,
+		// 2015-era billing: started hours charged in full, the partial
+		// hour of a platform-reclaimed spot instance free.
+		BillingIncrement: simkit.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	controller, err := core.New(core.Config{
+		Scheduler: sched,
+		Provider:  platform,
+		Mechanism: migration.SpotCheckLazy,
+		Placement: core.Policy2PML(),
+		Seed:      21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tenants := []struct {
+		name      string
+		vms       int
+		stateless bool
+	}{
+		{"acme-analytics", 8, false},
+		{"bitvend-shop", 4, false},
+		{"cdn-frontends", 6, true}, // replicated web tier: stateless mode
+	}
+	for _, tn := range tenants {
+		for i := 0; i < tn.vms; i++ {
+			if _, err := controller.RequestServerWithOptions(core.ServerOptions{
+				Customer: tn.name, Type: cloud.M3Medium, Stateless: tn.stateless,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("derivative cloud with %d tenants, 18 nested VMs, 30 days on real market dynamics\n\n",
+		len(tenants))
+	sched.RunUntil(horizon)
+
+	rep := controller.Report()
+	fmt.Printf("fleet: %d migrations (%d revocations), availability %.4f%%, max storm %d\n",
+		rep.Stats.Migrations, rep.Stats.Revocations, 100*rep.Availability, rep.MaxStorm)
+	fmt.Printf("wholesale bill from the native platform: $%.2f "+
+		"(hosts $%.2f + backups $%.2f)\n\n", rep.TotalCost, rep.HostCost, rep.BackupCost)
+
+	fmt.Printf("%-16s %4s %10s %14s %14s %14s\n",
+		"tenant", "VMs", "VM-hours", "avail(%)", "cost share", "od-equivalent")
+	for _, c := range controller.Customers() {
+		odEquivalent := 0.07 * c.VMHours
+		fmt.Printf("%-16s %4d %10.0f %14.4f %14s %14s\n",
+			c.Customer, c.VMs, c.VMHours, 100*c.Availability,
+			fmt.Sprintf("$%.2f", float64(c.CostShare)),
+			fmt.Sprintf("$%.2f", odEquivalent))
+	}
+	fmt.Println("\nthe margin between 'cost share' and 'od-equivalent' is the arbitrage a")
+	fmt.Println("derivative cloud splits between its customers and itself (§4.4)")
+}

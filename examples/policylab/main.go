@@ -1,0 +1,49 @@
+// Policylab: compare SpotCheck's five customer-to-pool mapping policies
+// (Table 2) across migration mechanisms, reproducing the trade-offs of
+// Figures 10-12 and Table 3 at laptop scale: cost vs availability vs
+// degradation vs storm risk.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/simkit"
+)
+
+func main() {
+	const (
+		vms     = 24
+		horizon = 60 * simkit.Day
+		seed    = 42
+	)
+	fmt.Fprintf(os.Stderr, "policylab: running %d two-month simulations of a %d-VM fleet...\n", 5*4+3, vms)
+
+	matrix, err := experiments.PolicyMatrix(vms, horizon, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.Fig10Bars(matrix).String())
+	fmt.Println()
+	fmt.Print(experiments.Fig11Bars(matrix).String())
+	fmt.Println()
+	fmt.Print(experiments.Fig12Bars(matrix).String())
+	fmt.Println()
+
+	rows, err := experiments.Table3(vms, horizon, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.Table3Render(rows, vms).String())
+	fmt.Println()
+
+	fmt.Println("Reading the trade-off (the paper's §6.2 conclusions):")
+	fmt.Println("  - every policy costs ~5x less than on-demand; live migration is cheapest")
+	fmt.Println("    (no backup servers) but risks losing VM state on revocation")
+	fmt.Println("  - 1P-M rides the calmest pool: best availability and least degradation,")
+	fmt.Println("    but every revocation is a full-fleet storm (Table 3, column N)")
+	fmt.Println("  - 4P-ED pays slightly more and degrades slightly more, but mass")
+	fmt.Println("    revocations disappear: pools spike independently")
+}

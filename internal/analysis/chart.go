@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiChart renders an (x, y) series as a fixed-size terminal plot — used
+// by the cmd tools to show price timeseries (Figure 1) without any
+// plotting dependency.
+type AsciiChart struct {
+	Title  string
+	Width  int // columns of plot area (default 72)
+	Height int // rows of plot area (default 16)
+	// YMarker draws a horizontal reference line at this y (e.g. the
+	// on-demand price); NaN disables it.
+	YMarker float64
+	// LogY plots log10(y); useful for spiky price series.
+	LogY bool
+}
+
+// Render draws the series.
+func (c AsciiChart) Render(xs, ys []float64) string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 16
+	}
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return "(no data)\n"
+	}
+	tr := func(v float64) float64 {
+		if c.LogY {
+			if v <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		v := tr(y)
+		if math.IsInf(v, -1) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	marker := math.NaN()
+	if !math.IsNaN(c.YMarker) {
+		marker = tr(c.YMarker)
+		if marker < lo {
+			lo = marker
+		}
+		if marker > hi {
+			hi = marker
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no finite data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := h - 1 - int(frac*float64(h-1)+0.5)
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	if !math.IsNaN(marker) {
+		mr := row(marker)
+		for col := 0; col < w; col++ {
+			grid[mr][col] = '-'
+		}
+	}
+	// Bucket samples into columns; plot each column's max (spikes matter).
+	xlo, xhi := xs[0], xs[n-1]
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	colMax := make([]float64, w)
+	colSet := make([]bool, w)
+	for i := range xs {
+		col := int((xs[i] - xlo) / (xhi - xlo) * float64(w-1))
+		if col < 0 || col >= w {
+			continue
+		}
+		v := tr(ys[i])
+		if math.IsInf(v, -1) {
+			continue
+		}
+		if !colSet[col] || v > colMax[col] {
+			colMax[col] = v
+			colSet[col] = true
+		}
+	}
+	for col := 0; col < w; col++ {
+		if !colSet[col] {
+			continue
+		}
+		grid[row(colMax[col])][col] = '*'
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", c.Title)
+	}
+	inv := func(v float64) float64 {
+		if c.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", formatFloat(inv(hi)), strings.Repeat("-", w))
+	for i, line := range grid {
+		label := strings.Repeat(" ", 10)
+		if i == h-1 {
+			label = fmt.Sprintf("%10s", formatFloat(inv(lo)))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  x: %s .. %s\n", "", formatFloat(xlo), formatFloat(xhi))
+	return b.String()
+}

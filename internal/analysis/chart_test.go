@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAsciiChartBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 2, 3, 2, 1}
+	out := AsciiChart{Title: "test", Width: 20, Height: 5, YMarker: math.NaN()}.Render(xs, ys)
+	if !strings.Contains(out, "== test ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + top border + 5 rows + bottom border + x-range line
+	if len(lines) != 9 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines[2:7] {
+		if len(l) < 12 {
+			t.Errorf("short plot row %q", l)
+		}
+	}
+}
+
+func TestAsciiChartMarkerLine(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0.01, 0.02, 0.01}
+	out := AsciiChart{Width: 10, Height: 5, YMarker: 0.06}.Render(xs, ys)
+	if !strings.Contains(out, "----------") {
+		t.Errorf("marker line missing:\n%s", out)
+	}
+	// Marker above all data: it must define the top of the scale.
+	if !strings.Contains(out, "0.0600") {
+		t.Errorf("scale should reach the marker:\n%s", out)
+	}
+}
+
+func TestAsciiChartLogY(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	// Three decades: the midpoint lands near the bottom on a linear scale
+	// but in the upper half on a log scale.
+	ys := []float64{0.01, 0.5, 5, 0.01}
+	lin := AsciiChart{Width: 20, Height: 8, YMarker: math.NaN()}.Render(xs, ys)
+	logp := AsciiChart{Width: 20, Height: 8, LogY: true, YMarker: math.NaN()}.Render(xs, ys)
+	if lin == logp {
+		t.Error("log scale made no difference")
+	}
+	if !strings.Contains(logp, "*") {
+		t.Error("log chart empty")
+	}
+}
+
+func TestAsciiChartDegenerate(t *testing.T) {
+	if out := (AsciiChart{}).Render(nil, nil); !strings.Contains(out, "no data") {
+		t.Error("empty input not handled")
+	}
+	if out := (AsciiChart{}).Render([]float64{1}, []float64{1, 2}); !strings.Contains(out, "no data") {
+		t.Error("mismatched input not handled")
+	}
+	// Constant series must not divide by zero.
+	out := AsciiChart{Width: 10, Height: 3, YMarker: math.NaN()}.Render([]float64{0, 1}, []float64{5, 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+	// All-non-positive series under log scale.
+	out = AsciiChart{LogY: true, YMarker: math.NaN()}.Render([]float64{0, 1}, []float64{0, -1})
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("log of non-positive data not handled:\n%s", out)
+	}
+}

@@ -1,0 +1,210 @@
+package backup
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pool manages a fleet of backup servers. VMs are mapped round-robin across
+// servers (§4.2): spreading one spot pool's VMs over many backup servers
+// bounds the restore load any single revocation storm puts on one server.
+// When every server is full the pool provisions a new one via the supplied
+// callback (the controller rents a fresh m3.xlarge from the platform).
+type Pool struct {
+	cfg     Config
+	servers []*Server
+	next    int // round-robin cursor
+	nextID  int
+	// byVM tracks which server holds each VM.
+	byVM map[string]*Server
+	// groupCount tracks VMs per (server, group) for spread assignment;
+	// vmGroup remembers each VM's group for release accounting.
+	groupCount map[groupKey]int
+	vmGroup    map[string]string
+	// onProvision, if set, is invoked after the pool adds a server.
+	onProvision func(*Server)
+}
+
+type groupKey struct {
+	server *Server
+	group  string
+}
+
+// NewPool creates an empty pool whose servers use cfg.
+func NewPool(cfg Config, onProvision func(*Server)) *Pool {
+	cfg.fillDefaults()
+	return &Pool{
+		cfg:         cfg,
+		byVM:        map[string]*Server{},
+		groupCount:  map[groupKey]int{},
+		vmGroup:     map[string]string{},
+		onProvision: onProvision,
+	}
+}
+
+// Servers returns the pool's servers in provisioning order.
+func (p *Pool) Servers() []*Server { return append([]*Server(nil), p.servers...) }
+
+// Size reports the number of provisioned backup servers.
+func (p *Pool) Size() int { return len(p.servers) }
+
+// TotalVMs reports registered VMs across all servers.
+func (p *Pool) TotalVMs() int { return len(p.byVM) }
+
+// ServerFor returns the server backing vmID, or nil.
+func (p *Pool) ServerFor(vmID string) *Server { return p.byVM[vmID] }
+
+// provision adds a fresh server.
+func (p *Pool) provision() *Server {
+	p.nextID++
+	s := NewServer(fmt.Sprintf("backup-%03d", p.nextID), p.cfg)
+	p.servers = append(p.servers, s)
+	if p.onProvision != nil {
+		p.onProvision(s)
+	}
+	return s
+}
+
+// Assign registers a VM's checkpoint stream on the next server in
+// round-robin order, provisioning a new server once all are full.
+func (p *Pool) Assign(vmID string, dirtyMBs float64) (*Server, error) {
+	return p.AssignSpread(vmID, dirtyMBs, "")
+}
+
+// AssignSpread registers a VM's checkpoint stream, spreading VMs of the
+// same group (their spot pool, §4.2) across backup servers: "since each
+// spot pool is subject to concurrent revocations, spreading one pool's VMs
+// across different backup servers reduces the probability of any one
+// backup server experiencing a large number of concurrent revocations."
+// Among servers with room, the one holding the fewest VMs of this group
+// wins; ties resolve round-robin. An empty group degrades to plain
+// round-robin.
+func (p *Pool) AssignSpread(vmID string, dirtyMBs float64, group string) (*Server, error) {
+	if _, dup := p.byVM[vmID]; dup {
+		return nil, fmt.Errorf("backup: VM %s already assigned", vmID)
+	}
+	if len(p.servers) == 0 {
+		p.provision()
+	}
+	var best *Server
+	bestGroup := -1
+	for i := 0; i < len(p.servers); i++ {
+		s := p.servers[(p.next+i)%len(p.servers)]
+		if s.Free() <= 0 {
+			continue
+		}
+		g := 0
+		if group != "" {
+			g = p.groupCount[groupKey{s, group}]
+		}
+		if best == nil || g < bestGroup {
+			best = s
+			bestGroup = g
+			if g == 0 && group != "" {
+				break // cannot do better than zero
+			}
+			if group == "" {
+				break // plain round-robin: first with room wins
+			}
+		}
+	}
+	if best == nil {
+		best = p.provision()
+		p.next = 0
+	} else {
+		// Advance the cursor past the chosen server.
+		for i, s := range p.servers {
+			if s == best {
+				p.next = (i + 1) % len(p.servers)
+				break
+			}
+		}
+	}
+	if err := best.Register(vmID, dirtyMBs); err != nil {
+		return nil, err
+	}
+	p.byVM[vmID] = best
+	if group != "" {
+		p.groupCount[groupKey{best, group}]++
+		p.vmGroup[vmID] = group
+	}
+	return best, nil
+}
+
+// Release removes a VM's stream and returns the server it was on (nil for
+// unknown VMs), so the caller can retire servers that drained.
+func (p *Pool) Release(vmID string) *Server {
+	s, ok := p.byVM[vmID]
+	if !ok {
+		return nil
+	}
+	s.Unregister(vmID)
+	delete(p.byVM, vmID)
+	if g, ok := p.vmGroup[vmID]; ok {
+		if p.groupCount[groupKey{s, g}] > 0 {
+			p.groupCount[groupKey{s, g}]--
+		}
+		delete(p.vmGroup, vmID)
+	}
+	return s
+}
+
+// Remove retires a drained server from the pool. It refuses to remove a
+// server that still backs VMs.
+func (p *Pool) Remove(s *Server) error {
+	if s.VMs() > 0 {
+		return fmt.Errorf("backup: server %s still backs %d VMs", s.ID(), s.VMs())
+	}
+	for i, cur := range p.servers {
+		if cur == s {
+			p.servers = append(p.servers[:i], p.servers[i+1:]...)
+			if len(p.servers) == 0 {
+				p.next = 0
+			} else {
+				p.next %= len(p.servers)
+			}
+			for k := range p.groupCount {
+				if k.server == s {
+					delete(p.groupCount, k)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("backup: server %s not in pool", s.ID())
+}
+
+// MaxVMsPerServer reports the largest registration count in the pool — the
+// blast radius of one revocation storm on one backup server.
+func (p *Pool) MaxVMsPerServer() int {
+	var max int
+	for _, s := range p.servers {
+		if s.VMs() > max {
+			max = s.VMs()
+		}
+	}
+	return max
+}
+
+// MaxGroupPerServer reports the largest number of same-group VMs on any
+// single backup server — the restore load one pool-wide revocation storm
+// would put on that server.
+func (p *Pool) MaxGroupPerServer() int {
+	var max int
+	for _, n := range p.groupCount {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Distribution returns registration counts per server, sorted descending.
+func (p *Pool) Distribution() []int {
+	out := make([]int, len(p.servers))
+	for i, s := range p.servers {
+		out[i] = s.VMs()
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,225 @@
+// Package backup models SpotCheck's backup servers: the machines that
+// continuously receive checkpointed memory state from spot-hosted nested
+// VMs and serve it back during restorations (§3.2, §5).
+//
+// The model captures the two resources that produce the paper's results:
+//
+//   - Ingest capacity (network + disk write): a backup server absorbs the
+//     sum of its VMs' dirty rates; past ~90% utilization, resident VMs
+//     degrade — the ~35-40 VM knee of Figure 7.
+//   - Restore read bandwidth: full restores stream sequentially and gain
+//     from request batching; unoptimized lazy restores issue random reads
+//     that gain nothing; SpotCheck's fadvise/ext4 tuning ("OptimizedIO")
+//     doubles base bandwidth and recovers batching for lazy reads —
+//     reproducing Figure 8's concurrency behaviour. Restore bandwidth is
+//     split evenly across concurrent restorations (the per-VM tc
+//     throttling of §5).
+package backup
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config describes one backup server's capacity.
+type Config struct {
+	// IngestMBs is the sustained checkpoint absorption rate: the minimum
+	// of network bandwidth and (cache-absorbed) disk write bandwidth.
+	// The default (110 MB/s) saturates at ~39 VMs × 2.8 MB/s.
+	IngestMBs float64
+	// BaseReadMBs is the raw single-stream restore read bandwidth from the
+	// checkpoint store. Default 38.4 MB/s (a 3.84 GB image in ~100 s, the
+	// paper's single-restore Figure 8 measurement).
+	BaseReadMBs float64
+	// OptimizedIO applies SpotCheck's backup tuning: ext4 write-back
+	// journalling, noatime, fadvise WILLNEED + access-pattern hints, page
+	// cache tuning. It doubles effective read bandwidth and lets lazy
+	// (random) reads batch like sequential ones.
+	OptimizedIO bool
+	// BatchBoost is the per-additional-concurrent-restore gain in
+	// aggregate read bandwidth for batchable access patterns. Default
+	// 0.12 (10 concurrent restores reach ~2.1× aggregate bandwidth).
+	BatchBoost float64
+	// LazyOptimizedPenalty scales optimized lazy reads relative to
+	// sequential ones (residual seek cost). Default 0.9.
+	LazyOptimizedPenalty float64
+	// MaxVMs is the registration capacity. The paper assigns at most
+	// 35-40 VMs per backup server; default 40.
+	MaxVMs int
+	// SaturationKnee is the ingest utilization above which resident VMs
+	// degrade. Default 0.9.
+	SaturationKnee float64
+}
+
+// DefaultConfig returns the m3.xlarge backup server the prototype uses.
+func DefaultConfig() Config {
+	return Config{
+		IngestMBs:            110,
+		BaseReadMBs:          38.4,
+		BatchBoost:           0.12,
+		LazyOptimizedPenalty: 0.9,
+		MaxVMs:               40,
+		SaturationKnee:       0.9,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.IngestMBs <= 0 {
+		c.IngestMBs = d.IngestMBs
+	}
+	if c.BaseReadMBs <= 0 {
+		c.BaseReadMBs = d.BaseReadMBs
+	}
+	if c.BatchBoost <= 0 {
+		c.BatchBoost = d.BatchBoost
+	}
+	if c.LazyOptimizedPenalty <= 0 {
+		c.LazyOptimizedPenalty = d.LazyOptimizedPenalty
+	}
+	if c.MaxVMs <= 0 {
+		c.MaxVMs = d.MaxVMs
+	}
+	if c.SaturationKnee <= 0 {
+		c.SaturationKnee = d.SaturationKnee
+	}
+}
+
+// Server is one backup server multiplexing checkpoint streams.
+type Server struct {
+	id  string
+	cfg Config
+	// vms maps VM id -> dirty rate (MB/s) of its checkpoint stream.
+	vms map[string]float64
+	// restoring counts in-flight restorations.
+	restoring int
+}
+
+// NewServer builds a backup server. Zero config fields take defaults.
+func NewServer(id string, cfg Config) *Server {
+	cfg.fillDefaults()
+	return &Server{id: id, cfg: cfg, vms: map[string]float64{}}
+}
+
+// ID returns the server's identifier.
+func (s *Server) ID() string { return s.id }
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Register adds a VM's checkpoint stream. It fails when the server is at
+// its VM capacity.
+func (s *Server) Register(vmID string, dirtyMBs float64) error {
+	if vmID == "" {
+		return fmt.Errorf("backup: empty VM id")
+	}
+	if dirtyMBs < 0 {
+		return fmt.Errorf("backup: negative dirty rate %v", dirtyMBs)
+	}
+	if _, dup := s.vms[vmID]; dup {
+		return fmt.Errorf("backup: VM %s already registered on %s", vmID, s.id)
+	}
+	if len(s.vms) >= s.cfg.MaxVMs {
+		return fmt.Errorf("backup: server %s full (%d VMs)", s.id, s.cfg.MaxVMs)
+	}
+	s.vms[vmID] = dirtyMBs
+	return nil
+}
+
+// Unregister removes a VM's stream; unknown VMs are a no-op.
+func (s *Server) Unregister(vmID string) { delete(s.vms, vmID) }
+
+// Has reports whether the VM is registered here.
+func (s *Server) Has(vmID string) bool {
+	_, ok := s.vms[vmID]
+	return ok
+}
+
+// VMs reports the number of registered streams.
+func (s *Server) VMs() int { return len(s.vms) }
+
+// Free reports remaining registration slots.
+func (s *Server) Free() int { return s.cfg.MaxVMs - len(s.vms) }
+
+// VMIDs returns registered VM ids in sorted order.
+func (s *Server) VMIDs() []string {
+	out := make([]string, 0, len(s.vms))
+	for id := range s.vms {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IngestUtilization is the ratio of the aggregate dirty rate to ingest
+// capacity. Values above the knee degrade resident VMs (Figure 7).
+func (s *Server) IngestUtilization() float64 {
+	var sum float64
+	for _, d := range s.vms {
+		sum += d
+	}
+	return sum / s.cfg.IngestMBs
+}
+
+// Overloaded reports whether resident VMs currently run degraded.
+func (s *Server) Overloaded() bool {
+	return s.IngestUtilization() > s.cfg.SaturationKnee
+}
+
+// BeginRestore reserves a restoration slot and returns the per-VM read
+// bandwidth all in-flight restorations now see. Call EndRestore when done.
+func (s *Server) BeginRestore(lazy bool) float64 {
+	s.restoring++
+	return s.RestoreReadMBsPerVM(s.restoring, lazy)
+}
+
+// EndRestore releases a restoration slot.
+func (s *Server) EndRestore() {
+	if s.restoring > 0 {
+		s.restoring--
+	}
+}
+
+// Restoring reports in-flight restorations.
+func (s *Server) Restoring() int { return s.restoring }
+
+// AggregateReadMBs returns the total read bandwidth available to n
+// concurrent restorations with the given access pattern.
+//
+//   - Sequential (full restore): batching grows aggregate bandwidth
+//     (1 + BatchBoost per extra stream).
+//   - Lazy, unoptimized: random demand reads defeat prefetching and
+//     caching; aggregate bandwidth stays at the single-stream rate — which
+//     is why 10 concurrent unoptimized lazy restores take far longer than
+//     10 stop-and-copy restores (Figure 8b).
+//   - Lazy, optimized: fadvise(RANDOM/WILLNEED) tells the kernel what the
+//     restorer will touch; reads batch almost like sequential ones at a
+//     small residual penalty.
+func (s *Server) AggregateReadMBs(n int, lazy bool) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	base := s.cfg.BaseReadMBs
+	if s.cfg.OptimizedIO {
+		base *= 2
+	}
+	batch := 1 + s.cfg.BatchBoost*float64(n-1)
+	switch {
+	case !lazy:
+		return base * batch
+	case s.cfg.OptimizedIO:
+		return base * s.cfg.LazyOptimizedPenalty * batch
+	default:
+		return base
+	}
+}
+
+// RestoreReadMBsPerVM is the per-restoration share of aggregate bandwidth:
+// SpotCheck throttles each migration/restoration with tc so one VM's
+// restore cannot starve another's (§5).
+func (s *Server) RestoreReadMBsPerVM(n int, lazy bool) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	return s.AggregateReadMBs(n, lazy) / float64(n)
+}

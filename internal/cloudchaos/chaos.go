@@ -1,0 +1,144 @@
+// Package cloudchaos wraps a cloud.Provider with fault injection: extra
+// control-plane latency and randomly failed asynchronous operations. The
+// SpotCheck controller must tolerate a flaky native platform — operations
+// that take longer than Table 1 promises, launches that fail outright —
+// without losing VM state or corrupting its bookkeeping; this wrapper makes
+// that testable.
+package cloudchaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// Config tunes the injected faults.
+type Config struct {
+	// FailProb is the probability that an asynchronous operation's
+	// callback reports a transient failure instead of completing.
+	// Launch failures surface as ErrCapacity (the retryable class).
+	FailProb float64
+	// ExtraLatency adds a uniformly random delay in [0, ExtraLatency] to
+	// every asynchronous completion.
+	ExtraLatency simkit.Time
+	// Seed drives the fault stream.
+	Seed int64
+}
+
+// ErrInjected marks chaos-injected operation failures.
+var ErrInjected = fmt.Errorf("cloudchaos: injected failure (%w)", cloud.ErrBadState)
+
+// Provider wraps an inner provider with fault injection.
+type Provider struct {
+	cloud.Provider
+	sched *simkit.Scheduler
+	cfg   Config
+	rng   *rand.Rand
+
+	// Injected counts faults delivered, for tests.
+	Injected int
+}
+
+// Wrap builds a chaotic provider around inner.
+func Wrap(inner cloud.Provider, sched *simkit.Scheduler, cfg Config) *Provider {
+	return &Provider{
+		Provider: inner,
+		sched:    sched,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// delay postpones fn by the injected extra latency.
+func (p *Provider) delay(label string, fn func()) {
+	if p.cfg.ExtraLatency <= 0 {
+		fn()
+		return
+	}
+	d := simkit.Time(p.rng.Int63n(int64(p.cfg.ExtraLatency) + 1))
+	p.sched.After(d, "chaos-delay "+label, fn)
+}
+
+func (p *Provider) inject() bool {
+	if p.cfg.FailProb > 0 && p.rng.Float64() < p.cfg.FailProb {
+		p.Injected++
+		return true
+	}
+	return false
+}
+
+// RunOnDemand injects launch failures and completion delays.
+func (p *Provider) RunOnDemand(typ string, zone cloud.Zone, cb cloud.InstanceCallback) {
+	if p.inject() {
+		p.delay("od-fail", func() {
+			cb(nil, fmt.Errorf("launch %s: %w", typ, cloud.ErrCapacity))
+		})
+		return
+	}
+	p.Provider.RunOnDemand(typ, zone, func(inst *cloud.Instance, err error) {
+		p.delay("od-launch", func() { cb(inst, err) })
+	})
+}
+
+// RequestSpot injects launch failures and completion delays.
+func (p *Provider) RequestSpot(typ string, zone cloud.Zone, bid cloud.USD, cb cloud.InstanceCallback) {
+	if p.inject() {
+		p.delay("spot-fail", func() {
+			cb(nil, fmt.Errorf("spot %s: %w", typ, cloud.ErrCapacity))
+		})
+		return
+	}
+	p.Provider.RequestSpot(typ, zone, bid, func(inst *cloud.Instance, err error) {
+		p.delay("spot-launch", func() { cb(inst, err) })
+	})
+}
+
+// AttachVolume injects completion delays (attachment is retried by the
+// controller's migration path, so failures here surface as slow attaches
+// rather than dropped callbacks).
+func (p *Provider) AttachVolume(vol cloud.VolumeID, inst cloud.InstanceID, cb cloud.Callback) error {
+	return p.Provider.AttachVolume(vol, inst, func(err error) {
+		p.delay("attach-vol", func() {
+			if cb != nil {
+				cb(err)
+			}
+		})
+	})
+}
+
+// DetachVolume injects completion delays.
+func (p *Provider) DetachVolume(vol cloud.VolumeID, cb cloud.Callback) error {
+	return p.Provider.DetachVolume(vol, func(err error) {
+		p.delay("detach-vol", func() {
+			if cb != nil {
+				cb(err)
+			}
+		})
+	})
+}
+
+// AssignIP injects completion delays.
+func (p *Provider) AssignIP(inst cloud.InstanceID, addr cloud.Addr, cb cloud.Callback) error {
+	return p.Provider.AssignIP(inst, addr, func(err error) {
+		p.delay("assign-ip", func() {
+			if cb != nil {
+				cb(err)
+			}
+		})
+	})
+}
+
+// UnassignIP injects completion delays.
+func (p *Provider) UnassignIP(inst cloud.InstanceID, addr cloud.Addr, cb cloud.Callback) error {
+	return p.Provider.UnassignIP(inst, addr, func(err error) {
+		p.delay("unassign-ip", func() {
+			if cb != nil {
+				cb(err)
+			}
+		})
+	})
+}
+
+var _ cloud.Provider = (*Provider)(nil)

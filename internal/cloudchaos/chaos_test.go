@@ -1,0 +1,155 @@
+package cloudchaos_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/cloudchaos"
+	"repro/internal/cloudsim"
+	"repro/internal/cloudtest"
+	"repro/internal/core"
+	"repro/internal/migration"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+func flatPlatform(t *testing.T) (*simkit.Scheduler, *cloudsim.Platform) {
+	t.Helper()
+	tr, err := spotmarket.NewTrace(
+		[]spotmarket.Point{{T: 0, Price: 0.01}}, 10000*simkit.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := simkit.NewScheduler()
+	p, err := cloudsim.New(sched, cloudsim.Config{
+		Traces: spotmarket.Set{
+			{Type: cloud.M3Medium, Zone: "zone-a"}: tr,
+		},
+		Latencies: cloudsim.ZeroOpLatencies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, p
+}
+
+// With no faults configured, the wrapper is transparent: it must pass the
+// full provider conformance suite.
+func TestChaosTransparentPassesConformance(t *testing.T) {
+	cloudtest.Run(t, cloudtest.Harness{
+		New: func(t *testing.T) (cloud.Provider, func()) {
+			sched, inner := flatPlatform(t)
+			return cloudchaos.Wrap(inner, sched, cloudchaos.Config{}),
+				func() { sched.Run(100000) }
+		},
+		SpotType: cloud.M3Medium,
+		SpotZone: "zone-a",
+		LowPrice: 0.02,
+	})
+}
+
+func TestChaosInjectsLaunchFailures(t *testing.T) {
+	sched, inner := flatPlatform(t)
+	chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{FailProb: 1, Seed: 1})
+	var gotErr error
+	chaos.RunOnDemand(cloud.M3Medium, "zone-a", func(_ *cloud.Instance, err error) { gotErr = err })
+	sched.Run(1000)
+	if !errors.Is(gotErr, cloud.ErrCapacity) {
+		t.Errorf("injected error = %v, want ErrCapacity", gotErr)
+	}
+	if chaos.Injected != 1 {
+		t.Errorf("Injected = %d", chaos.Injected)
+	}
+}
+
+func TestChaosDelaysCompletions(t *testing.T) {
+	sched, inner := flatPlatform(t)
+	chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{ExtraLatency: simkit.Minute, Seed: 2})
+	var doneAt simkit.Time
+	fired := false
+	chaos.RunOnDemand(cloud.M3Medium, "zone-a", func(i *cloud.Instance, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		doneAt = sched.Now()
+		fired = true
+	})
+	sched.Run(1000)
+	if !fired {
+		t.Fatal("callback lost")
+	}
+	if doneAt == 0 {
+		t.Skip("zero delay drawn; acceptable")
+	}
+	if doneAt > simkit.Minute {
+		t.Errorf("delay %v exceeds the configured bound", doneAt)
+	}
+}
+
+// The controller must survive a chaotic platform: slow, flaky launches
+// during revocations may delay recovery but never lose VM state or break
+// bookkeeping.
+func TestControllerSurvivesChaos(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr, err := spotmarket.NewTrace([]spotmarket.Point{
+			{T: 0, Price: 0.01},
+			{T: 10 * simkit.Hour, Price: 0.50},
+			{T: 11 * simkit.Hour, Price: 0.01},
+			{T: 30 * simkit.Hour, Price: 0.50},
+			{T: 31 * simkit.Hour, Price: 0.01},
+		}, 100*simkit.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := simkit.NewScheduler()
+		inner, err := cloudsim.New(sched, cloudsim.Config{
+			Traces: spotmarket.Set{
+				{Type: cloud.M3Medium, Zone: "zone-a"}: tr,
+			},
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{
+			FailProb:     0.3,
+			ExtraLatency: 30 * simkit.Second,
+			Seed:         seed,
+		})
+		ctrl, err := core.New(core.Config{
+			Scheduler: sched,
+			Provider:  chaos,
+			Mechanism: migration.SpotCheckLazy,
+			Placement: core.Policy1PM(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := ctrl.RequestServer("alice", cloud.M3Medium); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched.RunUntil(100 * simkit.Hour)
+		rep := ctrl.Report()
+		if rep.Stats.VMsLostMemoryState != 0 {
+			t.Errorf("seed %d: lost state under chaos", seed)
+		}
+		if chaos.Injected == 0 {
+			t.Errorf("seed %d: chaos never fired", seed)
+		}
+		running := 0
+		for _, info := range ctrl.ListVMs() {
+			if info.Phase == "running" {
+				running++
+			}
+		}
+		if running != 4 {
+			t.Errorf("seed %d: %d of 4 VMs running at the end", seed, running)
+		}
+		if rep.Availability < 0.95 {
+			t.Errorf("seed %d: availability %v collapsed under chaos", seed, rep.Availability)
+		}
+	}
+}

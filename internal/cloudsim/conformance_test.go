@@ -1,0 +1,38 @@
+package cloudsim_test
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/cloudtest"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+// The simulated platform must pass the provider conformance suite.
+func TestPlatformConformance(t *testing.T) {
+	cloudtest.Run(t, cloudtest.Harness{
+		New: func(t *testing.T) (cloud.Provider, func()) {
+			tr, err := spotmarket.NewTrace(
+				[]spotmarket.Point{{T: 0, Price: 0.01}}, 10000*simkit.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched := simkit.NewScheduler()
+			p, err := cloudsim.New(sched, cloudsim.Config{
+				Traces: spotmarket.Set{
+					{Type: cloud.M3Medium, Zone: "zone-a"}: tr,
+				},
+				Latencies: cloudsim.ZeroOpLatencies(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, func() { sched.Run(100000) }
+		},
+		SpotType: cloud.M3Medium,
+		SpotZone: "zone-a",
+		LowPrice: 0.02,
+	})
+}

@@ -1,0 +1,60 @@
+package cloudsim
+
+import (
+	"math"
+
+	"repro/internal/simkit"
+)
+
+// OpLatencies models the latency of each native control-plane operation in
+// seconds. The defaults reproduce the paper's Table 1 (20 measurements per
+// operation on EC2, m3.medium): right-skewed distributions captured as
+// lognormals anchored at the published medians and clamped to the published
+// min/max envelope.
+type OpLatencies struct {
+	StartSpot     simkit.Dist // launch a spot instance
+	StartOnDemand simkit.Dist // launch an on-demand instance
+	Terminate     simkit.Dist // terminate an instance
+	DetachVolume  simkit.Dist // unmount and detach EBS
+	AttachVolume  simkit.Dist // attach and mount EBS
+	AttachIP      simkit.Dist // attach network interface
+	DetachIP      simkit.Dist // detach network interface
+}
+
+// DefaultOpLatencies returns Table 1's measured envelope.
+//
+//	Operation                  Median  Mean  Max   Min
+//	Start spot instance        227     224   409   100
+//	Start on-demand instance   61      62    86    47
+//	Terminate instance         135     136   147   133
+//	Unmount and detach EBS     10.3    10.3  11.3  9.6
+//	Attach and mount EBS       5       5.1   9.3   4.4
+//	Attach network interface   3       3.75  14    1
+//	Detach network interface   2       3.5   12    1
+func DefaultOpLatencies() OpLatencies {
+	ln := func(median, sigma, lo, hi float64) simkit.Dist {
+		return simkit.Clamped{
+			Inner: simkit.Lognormal{Mu: math.Log(median), Sigma: sigma},
+			Lo:    lo, Hi: hi,
+		}
+	}
+	return OpLatencies{
+		StartSpot:     ln(227, 0.26, 100, 409),
+		StartOnDemand: ln(61, 0.15, 47, 86),
+		Terminate:     ln(135, 0.02, 133, 147),
+		DetachVolume:  ln(10.3, 0.03, 9.6, 11.3),
+		AttachVolume:  ln(5, 0.18, 4.4, 9.3),
+		AttachIP:      ln(3, 0.5, 1, 14),
+		DetachIP:      ln(2, 0.55, 1, 12),
+	}
+}
+
+// ZeroOpLatencies returns instantaneous operations; useful in unit tests
+// that exercise control flow rather than timing.
+func ZeroOpLatencies() OpLatencies {
+	z := simkit.Constant{V: 0}
+	return OpLatencies{
+		StartSpot: z, StartOnDemand: z, Terminate: z,
+		DetachVolume: z, AttachVolume: z, AttachIP: z, DetachIP: z,
+	}
+}

@@ -1,0 +1,499 @@
+// Package cloudsim implements a discrete-event simulated native IaaS
+// platform (EC2-shaped) behind the cloud.Provider interface: on-demand and
+// spot instances, spot revocation warnings driven by price traces, EBS-like
+// volumes, VPC private addresses, and control-plane latencies calibrated to
+// the paper's Table 1 measurements.
+package cloudsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+// Config assembles a simulated platform.
+type Config struct {
+	Catalog []cloud.InstanceType // defaults to cloud.DefaultCatalog()
+	Zones   []cloud.Zone         // defaults to cloud.DefaultZones()
+	Traces  spotmarket.Set       // required: spot price traces per market
+
+	// WarningWindow is the interval between a revocation warning and the
+	// forced termination (EC2: 120 s).
+	WarningWindow simkit.Time
+	// Latencies models control-plane operation latency (Table 1).
+	Latencies OpLatencies
+	// Seed drives latency sampling and failure injection.
+	Seed int64
+
+	// ODStockoutProb is the probability that an on-demand launch fails
+	// with ErrCapacity (the rare stock-out of §4.3). Zero disables.
+	ODStockoutProb float64
+	// Capacity caps the number of concurrently existing (pending or
+	// running) instances per type; requests beyond it fail with
+	// ErrCapacity. Types absent from the map are unlimited. Models the
+	// platform "occasionally running out" of a type (§4.3).
+	Capacity map[string]int
+	// BillingIncrement switches from continuous billing (zero, the
+	// default) to period billing like 2015-era EC2 (one hour): every
+	// started period is charged in full at the price in effect at its
+	// start — except a spot instance's final partial period, which is
+	// free when the *platform* reclaimed the instance (Amazon's rule
+	// that customers do not pay for the interrupted partial hour).
+	BillingIncrement simkit.Time
+	// VPC is the private address block for nested VM IPs.
+	// Defaults to 10.0.0.0/16.
+	VPC netip.Prefix
+}
+
+func (c *Config) fillDefaults() {
+	if c.Catalog == nil {
+		c.Catalog = cloud.DefaultCatalog()
+	}
+	if c.Zones == nil {
+		c.Zones = cloud.DefaultZones()
+	}
+	if c.WarningWindow == 0 {
+		c.WarningWindow = 120 * simkit.Second
+	}
+	if c.Latencies == (OpLatencies{}) {
+		c.Latencies = DefaultOpLatencies()
+	}
+	if !c.VPC.IsValid() {
+		c.VPC = netip.MustParsePrefix("10.0.0.0/16")
+	}
+}
+
+// Stats counts platform-level events, exposed for tests and reports.
+type Stats struct {
+	Launched              int
+	SpotLaunched          int
+	WarningsIssued        int
+	ForcedTerminations    int
+	VoluntaryTerminations int
+	ODStockouts           int
+}
+
+// Platform is the simulated native IaaS provider.
+type Platform struct {
+	sched *simkit.Scheduler
+	cfg   Config
+	rng   *rand.Rand
+
+	types map[string]cloud.InstanceType
+
+	nextInstance int
+	nextVolume   int
+	instances    map[cloud.InstanceID]*instanceState
+	volumes      map[cloud.VolumeID]*cloud.Volume
+
+	// spot instances grouped by market for revocation sweeps
+	spotByMarket map[spotmarket.MarketKey]map[cloud.InstanceID]*instanceState
+
+	ipPool *ipPool
+
+	// liveCount tracks non-terminated instances per type for Capacity.
+	liveCount map[string]int
+
+	revocationListeners []func(cloud.RevocationWarning)
+
+	stats Stats
+}
+
+type instanceState struct {
+	inst        *cloud.Instance
+	market      spotmarket.MarketKey // spot only
+	forcedKill  *simkit.Event        // pending forced termination, if warned
+	terminating bool
+	// reclaimed marks a spot instance the platform force-terminated (its
+	// final partial billing period is then free under period billing).
+	reclaimed bool
+}
+
+// New builds a platform on the given scheduler.
+func New(sched *simkit.Scheduler, cfg Config) (*Platform, error) {
+	cfg.fillDefaults()
+	if len(cfg.Traces) == 0 {
+		return nil, fmt.Errorf("cloudsim: config needs spot price traces")
+	}
+	p := &Platform{
+		sched:        sched,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		types:        make(map[string]cloud.InstanceType, len(cfg.Catalog)),
+		instances:    map[cloud.InstanceID]*instanceState{},
+		volumes:      map[cloud.VolumeID]*cloud.Volume{},
+		spotByMarket: map[spotmarket.MarketKey]map[cloud.InstanceID]*instanceState{},
+		ipPool:       newIPPool(cfg.VPC),
+		liveCount:    map[string]int{},
+	}
+	for _, it := range cfg.Catalog {
+		p.types[it.Name] = it
+	}
+	// Walk each market's price trace; every price change may revoke.
+	for _, key := range cfg.Traces.Keys() {
+		p.walkMarket(key, cfg.Traces[key])
+	}
+	return p, nil
+}
+
+// Scheduler exposes the platform's event loop so co-simulated components
+// (backup servers, workloads) share the same clock.
+func (p *Platform) Scheduler() *simkit.Scheduler { return p.sched }
+
+// Stats returns event counters.
+func (p *Platform) Stats() Stats { return p.stats }
+
+// Config returns the effective configuration (defaults filled).
+func (p *Platform) Config() Config { return p.cfg }
+
+// Now implements cloud.Provider.
+func (p *Platform) Now() simkit.Time { return p.sched.Now() }
+
+// Catalog implements cloud.Provider.
+func (p *Platform) Catalog() []cloud.InstanceType {
+	return append([]cloud.InstanceType(nil), p.cfg.Catalog...)
+}
+
+// TypeByName implements cloud.Provider.
+func (p *Platform) TypeByName(name string) (cloud.InstanceType, bool) {
+	it, ok := p.types[name]
+	return it, ok
+}
+
+// Zones implements cloud.Provider.
+func (p *Platform) Zones() []cloud.Zone {
+	return append([]cloud.Zone(nil), p.cfg.Zones...)
+}
+
+// OnDemandPrice implements cloud.Provider.
+func (p *Platform) OnDemandPrice(typ string) (cloud.USD, error) {
+	it, ok := p.types[typ]
+	if !ok {
+		return 0, fmt.Errorf("%w: type %q", cloud.ErrNotFound, typ)
+	}
+	return it.OnDemand, nil
+}
+
+// SpotPrice implements cloud.Provider.
+func (p *Platform) SpotPrice(typ string, zone cloud.Zone) (cloud.USD, error) {
+	tr, err := p.trace(typ, zone)
+	if err != nil {
+		return 0, err
+	}
+	return tr.PriceAt(p.sched.Now()), nil
+}
+
+func (p *Platform) trace(typ string, zone cloud.Zone) (*spotmarket.Trace, error) {
+	tr, ok := p.cfg.Traces[spotmarket.MarketKey{Type: typ, Zone: zone}]
+	if !ok {
+		return nil, fmt.Errorf("%w: no spot market for %s/%s", cloud.ErrNotFound, typ, zone)
+	}
+	return tr, nil
+}
+
+// RunOnDemand implements cloud.Provider.
+func (p *Platform) RunOnDemand(typ string, zone cloud.Zone, cb cloud.InstanceCallback) {
+	it, ok := p.types[typ]
+	if !ok {
+		cb(nil, fmt.Errorf("%w: type %q", cloud.ErrNotFound, typ))
+		return
+	}
+	if p.cfg.ODStockoutProb > 0 && p.rng.Float64() < p.cfg.ODStockoutProb {
+		p.stats.ODStockouts++
+		cb(nil, fmt.Errorf("%w: on-demand %s in %s", cloud.ErrCapacity, typ, zone))
+		return
+	}
+	if err := p.checkCapacity(typ); err != nil {
+		p.stats.ODStockouts++
+		cb(nil, err)
+		return
+	}
+	st := p.newInstance(it, zone, cloud.MarketOnDemand, 0)
+	delay := simkit.SampleSeconds(p.cfg.Latencies.StartOnDemand, p.rng)
+	p.sched.After(delay, "od-launch "+string(st.inst.ID), func() {
+		p.finishLaunch(st, cb)
+	})
+}
+
+// RequestSpot implements cloud.Provider.
+func (p *Platform) RequestSpot(typ string, zone cloud.Zone, bid cloud.USD, cb cloud.InstanceCallback) {
+	it, ok := p.types[typ]
+	if !ok {
+		cb(nil, fmt.Errorf("%w: type %q", cloud.ErrNotFound, typ))
+		return
+	}
+	tr, err := p.trace(typ, zone)
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	if cur := tr.PriceAt(p.sched.Now()); bid <= cur {
+		cb(nil, fmt.Errorf("%w: bid %v <= market %v for %s/%s", cloud.ErrBidTooLow, bid, cur, typ, zone))
+		return
+	}
+	if err := p.checkCapacity(typ); err != nil {
+		cb(nil, err)
+		return
+	}
+	st := p.newInstance(it, zone, cloud.MarketSpot, bid)
+	st.market = spotmarket.MarketKey{Type: typ, Zone: zone}
+	delay := simkit.SampleSeconds(p.cfg.Latencies.StartSpot, p.rng)
+	p.sched.After(delay, "spot-launch "+string(st.inst.ID), func() {
+		p.finishLaunch(st, cb)
+		if st.inst.State != cloud.StateRunning {
+			return
+		}
+		p.stats.SpotLaunched++
+		byMkt := p.spotByMarket[st.market]
+		if byMkt == nil {
+			byMkt = map[cloud.InstanceID]*instanceState{}
+			p.spotByMarket[st.market] = byMkt
+		}
+		byMkt[st.inst.ID] = st
+		// The price may have spiked past the bid while the launch was
+		// pending; EC2 would warn immediately.
+		if tr.PriceAt(p.sched.Now()) > st.inst.Bid {
+			p.warn(st, tr.PriceAt(p.sched.Now()))
+		}
+	})
+}
+
+// checkCapacity enforces the per-type fleet cap.
+func (p *Platform) checkCapacity(typ string) error {
+	limit, capped := p.cfg.Capacity[typ]
+	if !capped {
+		return nil
+	}
+	if p.liveCount[typ] >= limit {
+		return fmt.Errorf("%w: type %s at its capacity of %d", cloud.ErrCapacity, typ, limit)
+	}
+	return nil
+}
+
+func (p *Platform) newInstance(it cloud.InstanceType, zone cloud.Zone, market cloud.Market, bid cloud.USD) *instanceState {
+	p.nextInstance++
+	id := cloud.InstanceID(fmt.Sprintf("i-%06d", p.nextInstance))
+	st := &instanceState{
+		inst: &cloud.Instance{
+			ID: id, Type: it, Zone: zone, Market: market, Bid: bid,
+			State: cloud.StatePending,
+		},
+	}
+	p.instances[id] = st
+	p.liveCount[it.Name]++
+	return st
+}
+
+func (p *Platform) finishLaunch(st *instanceState, cb cloud.InstanceCallback) {
+	if st.inst.State == cloud.StateTerminated {
+		// Terminated while pending.
+		cb(nil, fmt.Errorf("%w: instance %s terminated during launch", cloud.ErrBadState, st.inst.ID))
+		return
+	}
+	st.inst.State = cloud.StateRunning
+	st.inst.Launched = p.sched.Now()
+	p.stats.Launched++
+	cb(st.inst, nil)
+}
+
+// Terminate implements cloud.Provider.
+func (p *Platform) Terminate(id cloud.InstanceID, cb cloud.Callback) error {
+	st, ok := p.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: instance %s", cloud.ErrNotFound, id)
+	}
+	if st.inst.State == cloud.StateTerminated || st.terminating {
+		return fmt.Errorf("%w: instance %s already terminated", cloud.ErrBadState, id)
+	}
+	st.terminating = true
+	p.stats.VoluntaryTerminations++
+	delay := simkit.SampleSeconds(p.cfg.Latencies.Terminate, p.rng)
+	p.sched.After(delay, "terminate "+string(id), func() {
+		p.destroy(st)
+		if cb != nil {
+			cb(nil)
+		}
+	})
+	return nil
+}
+
+// destroy finalizes termination: frees addresses, detaches volumes, removes
+// the instance from revocation sweeps.
+func (p *Platform) destroy(st *instanceState) {
+	if st.inst.State == cloud.StateTerminated {
+		return
+	}
+	if st.forcedKill != nil {
+		p.sched.Cancel(st.forcedKill)
+		st.forcedKill = nil
+	}
+	p.liveCount[st.inst.Type.Name]--
+	st.inst.State = cloud.StateTerminated
+	st.inst.Ended = p.sched.Now()
+	// VPC semantics: addresses detach from the dead instance but remain
+	// allocated to the renter, who may reassign them elsewhere (this is
+	// what lets a nested VM keep its IP across a forced termination).
+	st.inst.IPs = nil
+	for _, vid := range st.inst.Volumes {
+		if v, ok := p.volumes[vid]; ok {
+			v.AttachedTo = ""
+		}
+	}
+	st.inst.Volumes = nil
+	if st.inst.Market == cloud.MarketSpot {
+		delete(p.spotByMarket[st.market], st.inst.ID)
+	}
+}
+
+// Instance implements cloud.Provider.
+func (p *Platform) Instance(id cloud.InstanceID) (*cloud.Instance, error) {
+	st, ok := p.instances[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: instance %s", cloud.ErrNotFound, id)
+	}
+	return st.inst, nil
+}
+
+// OnRevocationWarning implements cloud.Provider.
+func (p *Platform) OnRevocationWarning(fn func(cloud.RevocationWarning)) {
+	p.revocationListeners = append(p.revocationListeners, fn)
+}
+
+// AccruedCost implements cloud.Provider. On-demand instances accrue the
+// fixed rate; spot instances accrue the integral of the market price over
+// their running interval (EC2 bills the market price, not the bid).
+func (p *Platform) AccruedCost(id cloud.InstanceID) (cloud.USD, error) {
+	st, ok := p.instances[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: instance %s", cloud.ErrNotFound, id)
+	}
+	inst := st.inst
+	if inst.State == cloud.StatePending {
+		return 0, nil
+	}
+	end := p.sched.Now()
+	if inst.State == cloud.StateTerminated {
+		end = inst.Ended
+	}
+	if p.cfg.BillingIncrement > 0 {
+		return p.periodBilledCost(st, end)
+	}
+	switch inst.Market {
+	case cloud.MarketOnDemand:
+		return cloud.USD(float64(inst.Type.OnDemand) * end.Sub(inst.Launched).Hours()), nil
+	case cloud.MarketSpot:
+		tr, err := p.trace(inst.Type.Name, inst.Zone)
+		if err != nil {
+			return 0, err
+		}
+		return tr.Integrate(inst.Launched, end), nil
+	default:
+		return 0, fmt.Errorf("%w: unknown market %v", cloud.ErrBadState, inst.Market)
+	}
+}
+
+// periodBilledCost implements 2015-era EC2 billing: every started period
+// is charged in full at the rate in effect at its start, except the final
+// partial period of a platform-reclaimed spot instance, which is free.
+func (p *Platform) periodBilledCost(st *instanceState, end simkit.Time) (cloud.USD, error) {
+	inst := st.inst
+	inc := p.cfg.BillingIncrement
+	incHours := inc.Hours()
+	var tr *spotmarket.Trace
+	if inst.Market == cloud.MarketSpot {
+		var err error
+		tr, err = p.trace(inst.Type.Name, inst.Zone)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var total float64
+	for start := inst.Launched; start < end; start += inc {
+		partial := start+inc > end
+		if partial && inst.Market == cloud.MarketSpot && st.reclaimed &&
+			inst.State == cloud.StateTerminated {
+			break // Amazon's rule: the interrupted partial hour is free
+		}
+		rate := float64(inst.Type.OnDemand)
+		if inst.Market == cloud.MarketSpot {
+			rate = float64(tr.PriceAt(start))
+		}
+		total += rate * incHours
+	}
+	return cloud.USD(total), nil
+}
+
+// walkMarket schedules an event at every price change of the market and
+// issues revocation warnings to underbid spot instances.
+func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
+	var step func(from simkit.Time)
+	step = func(from simkit.Time) {
+		next, ok := tr.NextChangeAfter(from)
+		if !ok {
+			return
+		}
+		p.sched.At(next, "price-change "+key.String(), func() {
+			price := tr.PriceAt(next)
+			for _, st := range p.spotInstancesSorted(key) {
+				if st.inst.State == cloud.StateRunning && price > st.inst.Bid {
+					p.warn(st, price)
+				}
+			}
+			step(next)
+		})
+	}
+	step(0)
+}
+
+// spotInstancesSorted returns the market's running spot instances in ID
+// order for deterministic warning delivery.
+func (p *Platform) spotInstancesSorted(key spotmarket.MarketKey) []*instanceState {
+	m := p.spotByMarket[key]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*instanceState, 0, len(m))
+	for _, st := range m {
+		out = append(out, st)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].inst.ID < out[j-1].inst.ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (p *Platform) warn(st *instanceState, price cloud.USD) {
+	if st.inst.State != cloud.StateRunning {
+		return
+	}
+	st.inst.State = cloud.StateWarned
+	now := p.sched.Now()
+	deadline := now + p.cfg.WarningWindow
+	w := cloud.RevocationWarning{
+		Instance: st.inst,
+		Issued:   now,
+		Deadline: deadline,
+		Price:    price,
+	}
+	p.stats.WarningsIssued++
+	st.forcedKill = p.sched.At(deadline, "forced-kill "+string(st.inst.ID), func() {
+		st.forcedKill = nil
+		if st.inst.State == cloud.StateTerminated {
+			return
+		}
+		p.stats.ForcedTerminations++
+		st.reclaimed = true
+		p.destroy(st)
+	})
+	for _, fn := range p.revocationListeners {
+		fn(w)
+	}
+}
+
+var _ cloud.Provider = (*Platform)(nil)

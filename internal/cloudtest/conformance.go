@@ -1,0 +1,251 @@
+// Package cloudtest provides a reusable conformance suite for
+// cloud.Provider implementations: the behavioural contract the SpotCheck
+// controller depends on, checked against any backend. The simulated
+// platform passes it; a binding to a real cloud (or a fault-injecting
+// wrapper) must pass it too before the controller will behave.
+package cloudtest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// Harness supplies a provider under test plus the simulation controls the
+// suite needs to drive asynchronous completions.
+type Harness struct {
+	// New builds a fresh provider on a fresh scheduler. The returned
+	// drain function runs the event loop until quiescence (bounded).
+	New func(t *testing.T) (cloud.Provider, func())
+	// SpotMarket names one (type, zone) market with a low current price
+	// that the suite can bid above.
+	SpotType string
+	SpotZone cloud.Zone
+	// LowPrice is an upper bound on the market's current price.
+	LowPrice cloud.USD
+}
+
+// Run executes the full conformance suite.
+func Run(t *testing.T, h Harness) {
+	t.Run("CatalogAndPrices", func(t *testing.T) { testCatalog(t, h) })
+	t.Run("OnDemandLifecycle", func(t *testing.T) { testOnDemand(t, h) })
+	t.Run("SpotLifecycle", func(t *testing.T) { testSpot(t, h) })
+	t.Run("Volumes", func(t *testing.T) { testVolumes(t, h) })
+	t.Run("Addresses", func(t *testing.T) { testAddresses(t, h) })
+	t.Run("ErrorContract", func(t *testing.T) { testErrors(t, h) })
+	t.Run("CostAccrual", func(t *testing.T) { testCost(t, h) })
+}
+
+func launchOD(t *testing.T, p cloud.Provider, h Harness, drain func()) *cloud.Instance {
+	t.Helper()
+	var inst *cloud.Instance
+	p.RunOnDemand(h.SpotType, h.SpotZone, func(i *cloud.Instance, err error) {
+		if err != nil {
+			t.Fatalf("on-demand launch: %v", err)
+		}
+		inst = i
+	})
+	drain()
+	if inst == nil {
+		t.Fatal("launch callback never fired")
+	}
+	return inst
+}
+
+func testCatalog(t *testing.T, h Harness) {
+	p, drain := h.New(t)
+	defer drain()
+	if len(p.Catalog()) == 0 {
+		t.Fatal("empty catalog")
+	}
+	if len(p.Zones()) == 0 {
+		t.Fatal("no zones")
+	}
+	typ, ok := p.TypeByName(h.SpotType)
+	if !ok {
+		t.Fatalf("spot type %q missing from catalog", h.SpotType)
+	}
+	od, err := p.OnDemandPrice(h.SpotType)
+	if err != nil || od <= 0 {
+		t.Fatalf("on-demand price = %v, %v", od, err)
+	}
+	if od != typ.OnDemand {
+		t.Error("OnDemandPrice disagrees with the catalog")
+	}
+	spot, err := p.SpotPrice(h.SpotType, h.SpotZone)
+	if err != nil || spot <= 0 {
+		t.Fatalf("spot price = %v, %v", spot, err)
+	}
+	if spot > h.LowPrice {
+		t.Fatalf("market not low as promised: %v > %v", spot, h.LowPrice)
+	}
+}
+
+func testOnDemand(t *testing.T, h Harness) {
+	p, drain := h.New(t)
+	inst := launchOD(t, p, h, drain)
+	if inst.State != cloud.StateRunning {
+		t.Fatalf("state = %v after launch", inst.State)
+	}
+	if inst.Market != cloud.MarketOnDemand {
+		t.Error("market wrong")
+	}
+	got, err := p.Instance(inst.ID)
+	if err != nil || got.ID != inst.ID {
+		t.Fatalf("Instance lookup: %v, %v", got, err)
+	}
+	if err := p.Terminate(inst.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	if inst.State != cloud.StateTerminated {
+		t.Error("not terminated")
+	}
+	if err := p.Terminate(inst.ID, nil); !errors.Is(err, cloud.ErrBadState) {
+		t.Errorf("double terminate = %v, want ErrBadState", err)
+	}
+}
+
+func testSpot(t *testing.T, h Harness) {
+	p, drain := h.New(t)
+	// Bid at or below market must be rejected with ErrBidTooLow.
+	var lowErr error
+	p.RequestSpot(h.SpotType, h.SpotZone, 0, func(_ *cloud.Instance, err error) { lowErr = err })
+	drain()
+	if !errors.Is(lowErr, cloud.ErrBidTooLow) {
+		t.Errorf("zero bid error = %v, want ErrBidTooLow", lowErr)
+	}
+	// A bid above the market launches.
+	var inst *cloud.Instance
+	p.RequestSpot(h.SpotType, h.SpotZone, h.LowPrice*10, func(i *cloud.Instance, err error) {
+		if err != nil {
+			t.Fatalf("spot launch: %v", err)
+		}
+		inst = i
+	})
+	drain()
+	if inst == nil || inst.State != cloud.StateRunning {
+		t.Fatalf("spot instance = %+v", inst)
+	}
+	if inst.Market != cloud.MarketSpot || inst.Bid != h.LowPrice*10 {
+		t.Errorf("market/bid wrong: %+v", inst)
+	}
+	if err := p.Terminate(inst.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+}
+
+func testVolumes(t *testing.T, h Harness) {
+	p, drain := h.New(t)
+	inst := launchOD(t, p, h, drain)
+	vol, err := p.CreateVolume(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := p.AttachVolume(vol.ID, inst.ID, func(err error) {
+		if err != nil {
+			t.Errorf("attach: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	if !done || vol.AttachedTo != inst.ID {
+		t.Fatalf("attach incomplete: done=%v attached=%q", done, vol.AttachedTo)
+	}
+	if err := p.AttachVolume(vol.ID, inst.ID, nil); !errors.Is(err, cloud.ErrBadState) {
+		t.Errorf("double attach = %v, want ErrBadState", err)
+	}
+	if err := p.DetachVolume(vol.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	if vol.AttachedTo != "" {
+		t.Error("still attached after detach")
+	}
+	if err := p.DeleteVolume(vol.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testAddresses(t *testing.T, h Harness) {
+	p, drain := h.New(t)
+	src := launchOD(t, p, h, drain)
+	dst := launchOD(t, p, h, drain)
+	addr, err := p.AllocateIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignIP(src.ID, addr, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	if !src.HasIP(addr) {
+		t.Fatal("address not assigned")
+	}
+	// The migration contract: unassign from source, reassign to
+	// destination, address value preserved.
+	if err := p.UnassignIP(src.ID, addr, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	if err := p.AssignIP(dst.ID, addr, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	if !dst.HasIP(addr) {
+		t.Fatal("address did not move")
+	}
+	// And the contract the controller relies on after a forced kill:
+	// termination must not revoke the renter's allocation.
+	if err := p.Terminate(dst.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	third := launchOD(t, p, h, drain)
+	if err := p.AssignIP(third.ID, addr, nil); err != nil {
+		t.Fatalf("allocation did not survive instance termination: %v", err)
+	}
+	drain()
+	if !third.HasIP(addr) {
+		t.Fatal("address lost after termination")
+	}
+}
+
+func testErrors(t *testing.T, h Harness) {
+	p, drain := h.New(t)
+	defer drain()
+	var err1 error
+	p.RunOnDemand("no-such-type", h.SpotZone, func(_ *cloud.Instance, err error) { err1 = err })
+	if !errors.Is(err1, cloud.ErrNotFound) {
+		t.Errorf("unknown type = %v, want ErrNotFound", err1)
+	}
+	if _, err := p.Instance("i-none"); !errors.Is(err, cloud.ErrNotFound) {
+		t.Errorf("unknown instance = %v", err)
+	}
+	if _, err := p.AccruedCost("i-none"); !errors.Is(err, cloud.ErrNotFound) {
+		t.Errorf("unknown cost = %v", err)
+	}
+	if err := p.DetachVolume("vol-none", nil); !errors.Is(err, cloud.ErrNotFound) {
+		t.Errorf("unknown volume = %v", err)
+	}
+}
+
+func testCost(t *testing.T, h Harness) {
+	p, drain := h.New(t)
+	inst := launchOD(t, p, h, drain)
+	c0, err := p.AccruedCost(inst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 < 0 {
+		t.Errorf("negative cost %v", c0)
+	}
+	_ = simkit.Time(0) // the suite is time-agnostic; accrual over time is
+	// implementation-specific and covered by the backend's own tests.
+}

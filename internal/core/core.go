@@ -1,0 +1,372 @@
+// Package core implements the SpotCheck controller — the paper's primary
+// contribution (§4, §5). The controller rents spot and on-demand servers
+// from a native IaaS provider, slices them into nested VMs for customers,
+// maintains backup servers for bounded-time migration, and transparently
+// migrates nested VMs between server pools when spot servers are revoked or
+// when cheaper spot capacity reappears.
+//
+// The controller is single-threaded: it runs entirely on the simulation's
+// event loop (exactly like the paper's centralized controller process) and
+// reacts to provider callbacks and revocation warnings.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/backup"
+	"repro/internal/cloud"
+	"repro/internal/migration"
+	"repro/internal/nestedvm"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+	"repro/internal/workload"
+)
+
+// PoolKey identifies one server pool: native servers of one type in one
+// zone under one contract. SpotCheck keeps separate spot and on-demand
+// pools per type (§4.1).
+type PoolKey struct {
+	Type   string
+	Zone   cloud.Zone
+	Market cloud.Market
+}
+
+func (k PoolKey) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Type, k.Zone, k.Market)
+}
+
+// Config assembles a controller.
+type Config struct {
+	Scheduler *simkit.Scheduler
+	Provider  cloud.Provider
+
+	// Mechanism selects the migration variant (Figures 10-12 compare all
+	// five). Defaults to migration.SpotCheckLazy, the full system.
+	Mechanism migration.Mechanism
+	// Bound is the bounded-time migration guarantee. The paper uses a
+	// conservative 30 s, well under EC2's 120 s warning.
+	Bound simkit.Time
+	// CheckpointBandwidthMBs is the per-VM bandwidth to the backup server.
+	CheckpointBandwidthMBs float64
+	// LiveBandwidthMBs is host-to-host bandwidth for live migrations.
+	LiveBandwidthMBs float64
+
+	// Placement maps new VMs to spot pools (Table 2's policies).
+	Placement PlacementPolicy
+	// Bidding sets spot bids (§4.3: on-demand price, or k× on-demand with
+	// proactive migration).
+	Bidding BiddingPolicy
+	// Destination selects where revoked VMs go (§4.3).
+	Destination DestinationPolicy
+	// HotSpares is the number of idle on-demand servers kept ready when
+	// Destination is DestHotSpare.
+	HotSpares int
+	// HotSpareType is the native type of hot spares (defaults to
+	// cloud.M3Medium).
+	HotSpareType string
+
+	// Backup configures backup servers; BackupType is the native type
+	// rented for them (defaults to m3.xlarge, the paper's choice).
+	Backup     backup.Config
+	BackupType string
+	BackupZone cloud.Zone
+
+	// Workload is the application profile VMs run (drives dirty rate and
+	// the degradation sensor). Defaults to workload.TPCW().
+	Workload workload.Profile
+
+	// MonitorInterval is the controller's price/rebalance poll period.
+	// Defaults to 1 minute.
+	MonitorInterval simkit.Time
+	// ReturnHoldDown is how long a spot pool's price must stay below the
+	// on-demand price before VMs migrate back from on-demand hosts.
+	// Defaults to 10 minutes.
+	ReturnHoldDown simkit.Time
+	// RebootSeconds is the recovery time when a VM's memory state is lost
+	// (live migration overrun): the VM restarts from its network volume.
+	RebootSeconds float64
+	// BootSeconds is how long a stateless VM takes to boot from its
+	// volume on a new host after a revocation (defaults to 30 s).
+	BootSeconds float64
+
+	// Predictive enables trend-based proactive migration (§3.2): when a
+	// spot pool's price rises toward the bid, live-migrate before the
+	// platform can issue a revocation. Mispredictions risk losing the
+	// final pre-copy rounds; with a backup-based mechanism the VM falls
+	// back to restoring from its checkpoint, without one it loses memory
+	// state — exactly the risk the paper describes.
+	Predictive PredictiveConfig
+
+	// Seed drives the controller's probabilistic policies.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Scheduler == nil || c.Provider == nil {
+		return fmt.Errorf("core: Scheduler and Provider are required")
+	}
+	if c.Bound == 0 {
+		c.Bound = 30 * simkit.Second
+	}
+	if c.CheckpointBandwidthMBs == 0 {
+		c.CheckpointBandwidthMBs = 40
+	}
+	if c.LiveBandwidthMBs == 0 {
+		c.LiveBandwidthMBs = 60
+	}
+	if c.Placement == nil {
+		c.Placement = Policy1PM()
+	}
+	if c.Bidding == nil {
+		c.Bidding = OnDemandBid{}
+	}
+	if c.HotSpareType == "" {
+		c.HotSpareType = cloud.M3Medium
+	}
+	if c.BackupType == "" {
+		c.BackupType = cloud.M3XLarge
+	}
+	if c.BackupZone == "" {
+		zones := c.Provider.Zones()
+		if len(zones) == 0 {
+			return fmt.Errorf("core: provider has no zones")
+		}
+		c.BackupZone = zones[0]
+	}
+	if c.Workload.Name == "" {
+		c.Workload = workload.TPCW()
+	}
+	if c.MonitorInterval == 0 {
+		c.MonitorInterval = simkit.Minute
+	}
+	if c.ReturnHoldDown == 0 {
+		c.ReturnHoldDown = 10 * simkit.Minute
+	}
+	if c.RebootSeconds == 0 {
+		c.RebootSeconds = 150
+	}
+	if c.BootSeconds == 0 {
+		c.BootSeconds = 30
+	}
+	return nil
+}
+
+// vmPhase is the controller's internal lifecycle for a nested VM.
+type vmPhase int
+
+const (
+	phaseProvisioning vmPhase = iota
+	phaseRunning
+	phaseMigrating
+	phaseReleased
+)
+
+type vmState struct {
+	vm       *nestedvm.VM
+	phase    vmPhase
+	host     *hostState
+	workload workload.Profile
+	// pendingRelease marks a VM whose customer released it mid-migration.
+	pendingRelease bool
+	// lazyDegradeEvent tracks the post-restore demand-paging window.
+	lazyDegradeEvent *simkit.Event
+	// restoreSrv holds the backup server serving an in-progress lazy
+	// restore (so its restore slot is released even on early teardown).
+	restoreSrv *backup.Server
+	// serviceEnd records when a released VM left service.
+	serviceEnd simkit.Time
+	// returnTarget is the spot pool tryReturn validated for the pending
+	// return migration.
+	returnTarget PoolKey
+	// homePool is the spot pool the placement policy originally assigned;
+	// returns after a spike go back there so the policy's distribution of
+	// VMs across pools (Table 2) stays stable over time.
+	homePool PoolKey
+	// stateless marks a VM whose service tolerates memory-state loss
+	// (e.g. a replicated web tier, §4.2): it runs without a backup server
+	// and simply reboots from its volume on a new host after revocation.
+	stateless bool
+}
+
+type hostRole int
+
+const (
+	roleHost hostRole = iota
+	roleHotSpare
+	roleBackup
+)
+
+type hostState struct {
+	inst     *cloud.Instance
+	key      PoolKey
+	role     hostRole
+	slotType cloud.InstanceType // nested VM size this host is sliced into
+	capacity int
+	vms      map[nestedvm.ID]*vmState
+	reserved int // slots claimed by in-flight placements/migrations
+	// warned marks a host whose revocation warning has fired.
+	warned       bool
+	warnDeadline simkit.Time
+}
+
+func (h *hostState) free() int { return h.capacity - len(h.vms) - h.reserved }
+
+type poolState struct {
+	key   PoolKey
+	bid   cloud.USD
+	hosts map[cloud.InstanceID]*hostState
+	// revocations counts revocation events hitting this pool.
+	revocations int
+}
+
+// Controller is the SpotCheck derivative cloud.
+type Controller struct {
+	cfg   Config
+	sched *simkit.Scheduler
+	prov  cloud.Provider
+	rng   *rand.Rand
+
+	pools   map[PoolKey]*poolState
+	hosts   map[cloud.InstanceID]*hostState
+	vms     map[nestedvm.ID]*vmState
+	backups *backup.Pool
+	// backupHosts maps backup server id -> native instance state.
+	backupHosts map[string]*hostState
+
+	spares       []*hostState // ready hot spares
+	sparePending int
+
+	pendingAcqs []*pendingAcq
+
+	history *History
+	events  *eventLog
+
+	nextVM int
+
+	// rentals tracks every native instance ever rented (for cost).
+	rentals []rental
+
+	// lastAboveOD stamps when each market's price last met or exceeded
+	// the on-demand price (return hold-down, §4.3).
+	lastAboveOD map[spotmarket.MarketKey]simkit.Time
+	// prevPrice holds the previous monitor sample per market (for the
+	// predictive trend check).
+	prevPrice map[spotmarket.MarketKey]cloud.USD
+
+	stats ControllerStats
+
+	// storms records concurrent-revocation batches (Table 3).
+	storms []StormEvent
+
+	// shutdown marks a drained controller: no new spares or placements.
+	shutdown bool
+}
+
+// ControllerStats counts controller-level events.
+type ControllerStats struct {
+	VMsCreated          int
+	VMsReleased         int
+	Migrations          int
+	Revocations         int
+	ProactiveMigrations int
+	ReturnMigrations    int
+	StagingMigrations   int
+	VMsLostMemoryState  int
+	HostsAcquired       int
+	SlicedHosts         int
+	DestinationFailures int
+	// PredictiveMigrations counts trend-triggered evacuations;
+	// PredictiveMisses counts those whose source was revoked mid-copy.
+	PredictiveMigrations int
+	PredictiveMisses     int
+}
+
+// rentalKind classifies what a rented native instance is for, so the
+// report can split costs into hosting, backup and spare components.
+type rentalKind int
+
+const (
+	rentalHost rentalKind = iota
+	rentalBackup
+	rentalSpare
+)
+
+type rental struct {
+	id   cloud.InstanceID
+	kind rentalKind
+}
+
+// StormEvent records one batch of concurrent revocations (Table 3).
+type StormEvent struct {
+	At   simkit.Time
+	Pool PoolKey
+	// VMs is how many nested VMs had to migrate concurrently.
+	VMs int
+}
+
+// New builds a controller and registers it with the provider.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if _, ok := cfg.Provider.TypeByName(cfg.BackupType); !ok {
+		return nil, fmt.Errorf("core: backup type %q not in catalog", cfg.BackupType)
+	}
+	c := &Controller{
+		cfg:         cfg,
+		sched:       cfg.Scheduler,
+		prov:        cfg.Provider,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		pools:       map[PoolKey]*poolState{},
+		hosts:       map[cloud.InstanceID]*hostState{},
+		vms:         map[nestedvm.ID]*vmState{},
+		backupHosts: map[string]*hostState{},
+		history:     NewHistory(),
+		events:      newEventLog(0),
+	}
+	// Backup-server I/O tuning follows the mechanism: the SpotCheck
+	// variants run the fadvise/ext4-tuned backup servers of §5.
+	c.cfg.Backup.OptimizedIO = cfg.Mechanism.Optimized()
+	c.backups = backup.NewPool(c.cfg.Backup, c.onBackupProvisioned)
+	c.prov.OnRevocationWarning(c.onRevocationWarning)
+	c.startMonitor()
+	for i := 0; i < cfg.HotSpares; i++ {
+		c.requestSpare()
+	}
+	return c, nil
+}
+
+// Mechanism reports the configured migration mechanism.
+func (c *Controller) Mechanism() migration.Mechanism { return c.cfg.Mechanism }
+
+// Stats returns controller event counters.
+func (c *Controller) Stats() ControllerStats { return c.stats }
+
+// Storms returns the recorded concurrent-revocation batches.
+func (c *Controller) Storms() []StormEvent { return append([]StormEvent(nil), c.storms...) }
+
+// History exposes the controller's market observations (for policies and
+// reports).
+func (c *Controller) History() *History { return c.history }
+
+// vmIDsSorted returns all VM ids in stable order.
+func (c *Controller) vmIDsSorted() []nestedvm.ID {
+	ids := make([]nestedvm.ID, 0, len(c.vms))
+	for id := range c.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// hostVMsSorted returns a host's VMs in stable order.
+func hostVMsSorted(h *hostState) []*vmState {
+	out := make([]*vmState, 0, len(h.vms))
+	for _, vs := range h.vms {
+		out = append(out, vs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].vm.ID < out[j].vm.ID })
+	return out
+}

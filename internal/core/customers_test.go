@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+func TestCustomersBreakdown(t *testing.T) {
+	traces := spotmarket.Set{
+		{Type: cloud.M3Medium, Zone: "zone-a"}: makeTrace(t, 0.01, testEnd,
+			spike{at: 10 * simkit.Hour, dur: simkit.Hour, price: 0.50}),
+	}
+	r := newRig(t, traces, nil)
+	// Alice runs 3 VMs, bob 1; carol's VM is released halfway.
+	for i := 0; i < 3; i++ {
+		r.request(t, "alice")
+	}
+	r.request(t, "bob")
+	carol, err := r.ctrl.RequestServer("carol", cloud.M3Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 50*simkit.Hour)
+	if err := r.ctrl.ReleaseServer(carol); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 100*simkit.Hour)
+
+	customers := r.ctrl.Customers()
+	if len(customers) != 3 {
+		t.Fatalf("customers = %d, want 3", len(customers))
+	}
+	byName := map[string]CustomerReport{}
+	for _, c := range customers {
+		byName[c.Customer] = c
+	}
+	alice, bob, carolRep := byName["alice"], byName["bob"], byName["carol"]
+	if alice.VMs != 3 || bob.VMs != 1 || carolRep.VMs != 1 {
+		t.Errorf("VM counts: alice=%d bob=%d carol=%d", alice.VMs, bob.VMs, carolRep.VMs)
+	}
+	// Alice's share is ~3x bob's (same lifetime).
+	if math.Abs(alice.VMHours/bob.VMHours-3) > 0.05 {
+		t.Errorf("alice hours %v vs bob %v, want 3x", alice.VMHours, bob.VMHours)
+	}
+	// Carol's VM stopped at 50h: roughly half of bob's hours.
+	if carolRep.VMHours >= bob.VMHours*0.7 {
+		t.Errorf("carol hours %v should be ~half of bob's %v", carolRep.VMHours, bob.VMHours)
+	}
+	// Cost shares sum to the fleet total.
+	rep := r.ctrl.Report()
+	var sum float64
+	for _, c := range customers {
+		sum += float64(c.CostShare)
+		if c.Availability < 0.99 || c.Availability > 1 {
+			t.Errorf("%s availability = %v", c.Customer, c.Availability)
+		}
+	}
+	if math.Abs(sum-float64(rep.TotalCost)) > 1e-9 {
+		t.Errorf("cost shares sum %v != total %v", sum, rep.TotalCost)
+	}
+	// Everyone rode the same revocation: availability below 1 but high.
+	if alice.Availability == 1 {
+		t.Error("alice should have experienced the revocation downtime")
+	}
+}
+
+func TestCustomersEmpty(t *testing.T) {
+	r := newRig(t, nil, nil)
+	if got := r.ctrl.Customers(); len(got) != 0 {
+		t.Errorf("empty controller customers = %v", got)
+	}
+}
+
+// Backup costs are billed only against stateful tenants: a stateless tenant
+// with the same VM-hours pays strictly less.
+func TestCustomersStatelessNotBilledForBackups(t *testing.T) {
+	r := newRig(t, nil, nil)
+	for i := 0; i < 4; i++ {
+		if _, err := r.ctrl.RequestServerWithOptions(ServerOptions{
+			Customer: "stateful-co", Type: cloud.M3Medium,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ctrl.RequestServerWithOptions(ServerOptions{
+			Customer: "stateless-co", Type: cloud.M3Medium, Stateless: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.run(t, 100*simkit.Hour)
+	byName := map[string]CustomerReport{}
+	for _, c := range r.ctrl.Customers() {
+		byName[c.Customer] = c
+	}
+	sf, sl := byName["stateful-co"], byName["stateless-co"]
+	if math.Abs(sf.VMHours-sl.VMHours) > 1 {
+		t.Fatalf("unequal hours: %v vs %v", sf.VMHours, sl.VMHours)
+	}
+	if float64(sl.CostShare) >= float64(sf.CostShare) {
+		t.Errorf("stateless share $%.2f should undercut stateful $%.2f", sl.CostShare, sf.CostShare)
+	}
+	// Shares still sum to the fleet total.
+	rep := r.ctrl.Report()
+	if sum := float64(sf.CostShare + sl.CostShare); math.Abs(sum-float64(rep.TotalCost)) > 1e-9 {
+		t.Errorf("shares sum %v != total %v", sum, rep.TotalCost)
+	}
+}
+
+func TestShutdownDrainsEverything(t *testing.T) {
+	r := newRig(t, nil, func(c *Config) {
+		c.Destination = DestHotSpare
+		c.HotSpares = 2
+	})
+	for i := 0; i < 6; i++ {
+		r.request(t, "alice")
+	}
+	r.run(t, 10*simkit.Hour)
+	r.ctrl.Shutdown()
+	r.run(t, 11*simkit.Hour)
+
+	for _, info := range r.ctrl.ListVMs() {
+		if info.Phase != "released" {
+			t.Errorf("%s phase = %s after shutdown", info.ID, info.Phase)
+		}
+	}
+	// Cost stops accruing once everything is terminated.
+	rep1 := r.ctrl.Report()
+	r.run(t, 50*simkit.Hour)
+	rep2 := r.ctrl.Report()
+	if diff := float64(rep2.TotalCost - rep1.TotalCost); diff > 1e-9 {
+		t.Errorf("cost grew $%.6f after shutdown", diff)
+	}
+	if rep2.BackupServers != 0 {
+		t.Errorf("backup servers = %d after shutdown", rep2.BackupServers)
+	}
+	if r.ctrl.SparesReady() != 0 {
+		t.Error("spares still standing after shutdown")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	traces := spotmarket.Set{
+		{Type: cloud.M3Medium, Zone: "zone-a"}: makeTrace(t, 0.01, testEnd,
+			spike{at: 10 * simkit.Hour, dur: simkit.Hour, price: 0.50}),
+	}
+	r := newRig(t, traces, nil)
+	r.request(t, "alice")
+	r.run(t, 12*simkit.Hour)
+	out := r.ctrl.StatusText()
+	for _, want := range []string{
+		"SpotCheck status", "Server pools", "Nested VMs", "Backup servers",
+		"nvm-00001", "alice", "availability",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/nestedvm"
+	"repro/internal/simkit"
+)
+
+// EventKind classifies controller events in a nested VM's audit timeline.
+type EventKind string
+
+// Event kinds, in rough lifecycle order.
+const (
+	EventRequested EventKind = "requested"
+	EventPlaced    EventKind = "placed"     // entered service on a host
+	EventWarned    EventKind = "warned"     // host received a revocation warning
+	EventPaused    EventKind = "paused"     // final flush pause began
+	EventMigrated  EventKind = "migrated"   // running on a new host
+	EventReturned  EventKind = "returned"   // back on a spot host
+	EventStateLost EventKind = "state-lost" // memory state lost (live overrun)
+	EventReleased  EventKind = "released"
+)
+
+// Event is one entry in a VM's audit timeline.
+type Event struct {
+	At   simkit.Time `json:"at"`
+	Kind EventKind   `json:"kind"`
+	// Detail is a human-readable elaboration (host, pool, reason).
+	Detail string `json:"detail"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v %-10s %s", e.At, e.Kind, e.Detail)
+}
+
+// eventLog stores bounded per-VM timelines. The cap bounds memory on
+// months-long simulations; the newest events win.
+type eventLog struct {
+	mu   sync.Mutex
+	cap  int
+	byVM map[nestedvm.ID][]Event
+}
+
+const defaultEventCap = 256
+
+func newEventLog(cap int) *eventLog {
+	if cap <= 0 {
+		cap = defaultEventCap
+	}
+	return &eventLog{cap: cap, byVM: map[nestedvm.ID][]Event{}}
+}
+
+func (l *eventLog) add(id nestedvm.ID, at simkit.Time, kind EventKind, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	evs := l.byVM[id]
+	if len(evs) >= l.cap {
+		// Drop the oldest half rather than shifting per event.
+		evs = append(evs[:0], evs[len(evs)/2:]...)
+	}
+	l.byVM[id] = append(evs, Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (l *eventLog) get(id nestedvm.ID) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.byVM[id]...)
+}
+
+// record appends an event to a VM's audit timeline.
+func (c *Controller) record(id nestedvm.ID, kind EventKind, format string, args ...any) {
+	c.events.add(id, c.sched.Now(), kind, format, args...)
+}
+
+// Events returns a VM's audit timeline (oldest first). Unknown VMs yield
+// an empty timeline.
+func (c *Controller) Events(id nestedvm.ID) []Event {
+	return c.events.get(id)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+func TestEventTimelineAcrossRevocation(t *testing.T) {
+	traces := spotmarket.Set{
+		{Type: cloud.M3Medium, Zone: "zone-a"}: makeTrace(t, 0.01, testEnd,
+			spike{at: 10 * simkit.Hour, dur: simkit.Hour, price: 0.50}),
+	}
+	r := newRig(t, traces, nil)
+	id := r.request(t, "alice")
+	r.run(t, 13*simkit.Hour) // through revocation and return
+
+	events := r.ctrl.Events(id)
+	if len(events) < 5 {
+		t.Fatalf("timeline too short: %v", events)
+	}
+	var kinds []EventKind
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	wantOrder := []EventKind{EventRequested, EventPlaced, EventWarned, EventPaused, EventMigrated, EventReturned}
+	idx := 0
+	for _, k := range kinds {
+		if idx < len(wantOrder) && k == wantOrder[idx] {
+			idx++
+		}
+	}
+	if idx != len(wantOrder) {
+		t.Errorf("timeline missing lifecycle order %v, got %v", wantOrder[idx:], kinds)
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order: %v", events)
+		}
+	}
+	// The warned event carries context.
+	for _, e := range events {
+		if e.Kind == EventWarned && !strings.Contains(e.Detail, "deadline") {
+			t.Errorf("warned detail = %q", e.Detail)
+		}
+	}
+	// Release appends a final event.
+	if err := r.ctrl.ReleaseServer(id); err != nil {
+		t.Fatal(err)
+	}
+	events = r.ctrl.Events(id)
+	if events[len(events)-1].Kind != EventReleased {
+		t.Errorf("last event = %v, want released", events[len(events)-1])
+	}
+	// String rendering includes the kind.
+	if !strings.Contains(events[0].String(), "requested") {
+		t.Error("Event.String missing kind")
+	}
+	// Unknown VM: empty timeline, no panic.
+	if got := r.ctrl.Events("nvm-none"); len(got) != 0 {
+		t.Errorf("unknown VM events = %v", got)
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := newEventLog(8)
+	for i := 0; i < 100; i++ {
+		l.add("vm", simkit.Time(i), EventMigrated, "n%d", i)
+	}
+	evs := l.get("vm")
+	if len(evs) > 8 {
+		t.Errorf("log grew to %d, cap 8", len(evs))
+	}
+	// The newest event survives.
+	if evs[len(evs)-1].Detail != "n99" {
+		t.Errorf("newest event lost: %v", evs[len(evs)-1])
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/migration"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+// The complete SpotCheck lifecycle: a nested VM rides a spot price spike
+// to an on-demand server (keeping its IP and volume) and returns to spot
+// once the spike abates.
+func Example() {
+	trace, err := spotmarket.NewTrace([]spotmarket.Point{
+		{T: 0, Price: 0.01},
+		{T: 10 * simkit.Hour, Price: 0.50},
+		{T: 11 * simkit.Hour, Price: 0.01},
+	}, 48*simkit.Hour)
+	if err != nil {
+		panic(err)
+	}
+	sched := simkit.NewScheduler()
+	platform, err := cloudsim.New(sched, cloudsim.Config{
+		Traces: spotmarket.Set{{Type: cloud.M3Medium, Zone: "zone-a"}: trace},
+		Seed:   7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	controller, err := core.New(core.Config{
+		Scheduler: sched,
+		Provider:  platform,
+		Mechanism: migration.SpotCheckLazy,
+		Placement: core.Policy1PM(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	id, err := controller.RequestServer("alice", cloud.M3Medium)
+	if err != nil {
+		panic(err)
+	}
+
+	sched.RunUntil(9 * simkit.Hour)
+	before, _ := controller.DescribeVM(id)
+	sched.RunUntil(10*simkit.Hour + 10*simkit.Minute)
+	during, _ := controller.DescribeVM(id)
+	sched.RunUntil(13 * simkit.Hour)
+	after, _ := controller.DescribeVM(id)
+
+	fmt.Printf("before spike: %s\n", before.Market)
+	fmt.Printf("during spike: %s (same IP: %v)\n", during.Market, during.IP == before.IP)
+	fmt.Printf("after spike:  %s\n", after.Market)
+	rep := controller.Report()
+	fmt.Printf("state lost:   %d, TCP breaks: %d\n", rep.Stats.VMsLostMemoryState, rep.TCPBreaks)
+	// Output:
+	// before spike: spot
+	// during spike: on-demand (same IP: true)
+	// after spike:  spot
+	// state lost:   0, TCP breaks: 0
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/migration"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+// --- Stateless service mode (§4.2) ---
+
+func statelessRig(t *testing.T) *testRig {
+	t.Helper()
+	traces := spotmarket.Set{
+		{Type: cloud.M3Medium, Zone: "zone-a"}: makeTrace(t, 0.01, testEnd,
+			spike{at: 10 * simkit.Hour, dur: simkit.Hour, price: 0.50}),
+	}
+	return newRig(t, traces, nil)
+}
+
+func TestStatelessSkipsBackup(t *testing.T) {
+	r := statelessRig(t)
+	id, err := r.ctrl.RequestServerWithOptions(ServerOptions{
+		Customer: "alice", Type: cloud.M3Medium, Stateless: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, simkit.Hour)
+	info, _ := r.ctrl.DescribeVM(id)
+	if info.BackupServer != "" {
+		t.Error("stateless VM must not hold a backup server")
+	}
+	if r.ctrl.Report().BackupServers != 0 {
+		t.Error("no backup servers should be provisioned for a stateless fleet")
+	}
+}
+
+func TestStatelessRevocationReboots(t *testing.T) {
+	r := statelessRig(t)
+	id, err := r.ctrl.RequestServerWithOptions(ServerOptions{
+		Customer: "alice", Type: cloud.M3Medium, Stateless: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 11*simkit.Hour)
+	info, _ := r.ctrl.DescribeVM(id)
+	if info.Market != "on-demand" {
+		t.Fatalf("stateless VM not re-homed: %+v", info)
+	}
+	vs := r.ctrl.vms[id]
+	down, degraded := vs.vm.Ledger.Snapshot(r.sched.Now())
+	// The VM served until the forced kill (full 120 s window) and then
+	// booted for ~30 s on the destination: downtime ≈ boot time since the
+	// destination was ready before the deadline.
+	if down < 20*simkit.Second || down > 2*simkit.Minute {
+		t.Errorf("stateless downtime = %v, want ~boot-scale", down)
+	}
+	if degraded != 0 {
+		t.Errorf("stateless migration has no degraded phases, got %v", degraded)
+	}
+	// Stateless loss is not counted as losing memory *state* the service
+	// cared about.
+	if r.ctrl.Stats().VMsLostMemoryState != 0 {
+		t.Error("stateless reboot must not count as state loss")
+	}
+}
+
+// Stateless fleets avoid the backup cost entirely: cheaper than stateful.
+func TestStatelessCheaperThanStateful(t *testing.T) {
+	cost := func(stateless bool) float64 {
+		r := newRig(t, nil, nil)
+		for i := 0; i < 8; i++ {
+			if _, err := r.ctrl.RequestServerWithOptions(ServerOptions{
+				Customer: "alice", Type: cloud.M3Medium, Stateless: stateless,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.run(t, 100*simkit.Hour)
+		return float64(r.ctrl.Report().CostPerVMHour)
+	}
+	stateful := cost(false)
+	stateless := cost(true)
+	if stateless >= stateful {
+		t.Errorf("stateless ($%.4f/hr) should undercut stateful ($%.4f/hr)", stateless, stateful)
+	}
+}
+
+// --- Zone spreading ---
+
+func TestZoneSpreadPolicy(t *testing.T) {
+	traces := spotmarket.Set{
+		{Type: cloud.M3Medium, Zone: "zone-a"}: makeTrace(t, 0.01, testEnd,
+			spike{at: 10 * simkit.Hour, dur: simkit.Hour, price: 0.50}),
+		{Type: cloud.M3Medium, Zone: "zone-b"}: makeTrace(t, 0.012, testEnd),
+		{Type: cloud.M3Medium, Zone: "zone-c"}: makeTrace(t, 0.011, testEnd),
+	}
+	r := newRig(t, traces, func(c *Config) {
+		c.Placement = NewZoneSpreadPolicy(cloud.M3Medium, []cloud.Zone{"zone-a", "zone-b", "zone-c"})
+	})
+	for i := 0; i < 6; i++ {
+		r.request(t, "alice")
+	}
+	r.run(t, 9*simkit.Hour)
+	byZone := map[cloud.Zone]int{}
+	for _, p := range r.ctrl.Pools() {
+		if p.Key.Market == cloud.MarketSpot {
+			byZone[p.Key.Zone] += p.VMs
+		}
+	}
+	if byZone["zone-a"] != 2 || byZone["zone-b"] != 2 || byZone["zone-c"] != 2 {
+		t.Fatalf("zone spread = %v, want 2 per zone", byZone)
+	}
+	// The zone-a spike revokes only zone-a's VMs: storm size 2, not 6.
+	r.run(t, 11*simkit.Hour)
+	rep := r.ctrl.Report()
+	if rep.MaxStorm != 2 {
+		t.Errorf("max storm = %d, want 2 (only zone-a revoked)", rep.MaxStorm)
+	}
+}
+
+// --- Predictive migration (§3.2's optional optimization) ---
+
+// rampTrace rises gradually toward the spike so the trend detector can see
+// it coming: 0.01 -> 0.06 (rising, above 0.8*0.07=0.056) -> 0.50.
+func rampTraces(t *testing.T) spotmarket.Set {
+	t.Helper()
+	tr, err := spotmarket.NewTrace([]spotmarket.Point{
+		{T: 0, Price: 0.01},
+		{T: 9 * simkit.Hour, Price: 0.03},
+		{T: 9*simkit.Hour + 30*simkit.Minute, Price: 0.06},
+		{T: 10 * simkit.Hour, Price: 0.50},
+		{T: 11 * simkit.Hour, Price: 0.01},
+	}, testEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spotmarket.Set{{Type: cloud.M3Medium, Zone: "zone-a"}: tr}
+}
+
+func TestPredictiveMigrationBeatsWarning(t *testing.T) {
+	r := newRig(t, rampTraces(t), func(c *Config) {
+		c.Predictive = PredictiveConfig{Enabled: true, Threshold: 0.8}
+	})
+	id := r.request(t, "alice")
+	r.run(t, 10*simkit.Hour+5*simkit.Minute)
+	info, _ := r.ctrl.DescribeVM(id)
+	if r.ctrl.Stats().PredictiveMigrations < 1 {
+		t.Fatal("predictor never fired on a rising price")
+	}
+	if info.Revocations != 0 {
+		t.Errorf("revocations = %d, want 0 (evacuated before the warning)", info.Revocations)
+	}
+	if info.Market != "on-demand" {
+		t.Errorf("VM not evacuated: %+v", info)
+	}
+	vs := r.ctrl.vms[id]
+	down, _ := vs.vm.Ledger.Snapshot(r.sched.Now())
+	if down > 2*simkit.Second {
+		t.Errorf("predictive live migration downtime = %v, want sub-second", down)
+	}
+}
+
+func TestPredictiveMissFallsBackToBackup(t *testing.T) {
+	// A sudden spike right after the trend trigger: the monitor fires at
+	// the 9h tick (price rose 0.01 -> 0.06) and starts a ~70 s live copy;
+	// the real spike lands 30 s later and the shrunken 15 s warning
+	// window kills the source mid-copy.
+	tr, err := spotmarket.NewTrace([]spotmarket.Point{
+		{T: 0, Price: 0.01},
+		{T: 9 * simkit.Hour, Price: 0.06},                  // rising, above threshold
+		{T: 9*simkit.Hour + 30*simkit.Second, Price: 0.50}, // real spike mid-copy
+		{T: 11 * simkit.Hour, Price: 0.01},
+	}, testEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := simkit.NewScheduler()
+	plat, err := cloudsim.New(sched, cloudsim.Config{
+		Traces:        spotmarket.Set{{Type: cloud.M3Medium, Zone: "zone-a"}: tr},
+		Latencies:     cloudsim.ZeroOpLatencies(),
+		WarningWindow: 15 * simkit.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(Config{
+		Scheduler: sched, Provider: plat,
+		Mechanism:  migration.SpotCheckLazy,
+		Predictive: PredictiveConfig{Enabled: true, Threshold: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ctrl.RequestServer("alice", cloud.M3Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run past the trigger, the mid-copy kill, and the fallback restore.
+	sched.RunUntil(10 * simkit.Hour)
+	st := ctrl.Stats()
+	if st.PredictiveMigrations < 1 {
+		t.Fatal("predictor never fired")
+	}
+	if st.PredictiveMisses < 1 {
+		t.Fatalf("expected a predictive miss (source killed mid-copy): %+v", st)
+	}
+	// With a backup-based mechanism the checkpoint rescues the VM.
+	if st.VMsLostMemoryState != 0 {
+		t.Errorf("memory state lost despite continuous checkpointing: %+v", st)
+	}
+	info, _ := ctrl.DescribeVM(id)
+	if info.Phase != "running" {
+		t.Errorf("VM not recovered: %+v", info)
+	}
+}
+
+// --- Platform capacity limits ---
+
+func TestCapacityLimitedPlatform(t *testing.T) {
+	tr := makeTrace(t, 0.01, testEnd)
+	sched := simkit.NewScheduler()
+	plat, err := cloudsim.New(sched, cloudsim.Config{
+		Traces:    spotmarket.Set{{Type: cloud.M3Medium, Zone: "zone-a"}: tr},
+		Latencies: cloudsim.ZeroOpLatencies(),
+		Capacity:  map[string]int{cloud.M3Medium: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, failed int
+	for i := 0; i < 3; i++ {
+		plat.RunOnDemand(cloud.M3Medium, "zone-a", func(_ *cloud.Instance, err error) {
+			if err != nil {
+				failed++
+			} else {
+				got++
+			}
+		})
+	}
+	sched.RunUntil(sched.Now())
+	if got != 2 || failed != 1 {
+		t.Fatalf("got %d launched, %d failed; want 2/1", got, failed)
+	}
+	// Terminating frees capacity.
+	if err := plat.Terminate("i-000001", nil); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sched.Now())
+	var again bool
+	plat.RunOnDemand(cloud.M3Medium, "zone-a", func(_ *cloud.Instance, err error) { again = err == nil })
+	sched.RunUntil(sched.Now())
+	if !again {
+		t.Error("capacity not freed after termination")
+	}
+}
+
+// The controller keeps a displaced VM parked (state safe on the backup
+// server) when the destination type is stocked out, and recovers once
+// capacity frees.
+func TestDestinationStockoutParksAndRecovers(t *testing.T) {
+	tr := makeTrace(t, 0.01, testEnd,
+		spike{at: 10 * simkit.Hour, dur: simkit.Hour, price: 0.50})
+	sched := simkit.NewScheduler()
+	plat, err := cloudsim.New(sched, cloudsim.Config{
+		Traces:    spotmarket.Set{{Type: cloud.M3Medium, Zone: "zone-a"}: tr},
+		Latencies: cloudsim.ZeroOpLatencies(),
+		// Room for the spot host and exactly nothing else of this type
+		// until it dies.
+		Capacity: map[string]int{cloud.M3Medium: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(Config{
+		Scheduler: sched, Provider: plat,
+		Mechanism: migration.SpotCheckLazy,
+		Placement: Policy1PM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ctrl.RequestServer("alice", cloud.M3Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(10*simkit.Hour + 90*simkit.Second)
+	if ctrl.Stats().DestinationFailures == 0 {
+		t.Fatal("expected destination failures while the type is at capacity")
+	}
+	// After the forced kill frees the slot, the retry loop finds capacity.
+	sched.RunUntil(10*simkit.Hour + 30*simkit.Minute)
+	info, _ := ctrl.DescribeVM(id)
+	if info.Phase != "running" || info.Market != "on-demand" {
+		t.Fatalf("VM not recovered after stockout: %+v", info)
+	}
+	if ctrl.Stats().VMsLostMemoryState != 0 {
+		t.Error("state lost during stockout parking")
+	}
+}
+
+// Concurrent placements into the same sliced pool must share one host
+// acquisition rather than each buying a server ("reserves the additional
+// slot in order to rapidly allocate ... a subsequent customer request").
+func TestPendingAcquisitionShared(t *testing.T) {
+	r := newRig(t, nil, func(c *Config) {
+		c.Placement = NewRoundRobinPolicy("2xl-only", []spotmarket.MarketKey{
+			{Type: cloud.M32XLarge, Zone: "zone-a"},
+		})
+	})
+	// Eight requests land before any host launch completes (zero-latency
+	// launches still complete via the event loop, which has not run yet).
+	for i := 0; i < 8; i++ {
+		r.request(t, "alice")
+	}
+	r.run(t, simkit.Hour)
+	if got := r.ctrl.Stats().HostsAcquired; got != 1 {
+		t.Errorf("acquired %d hosts for 8 medium VMs, want 1 m3.2xlarge (8 slots)", got)
+	}
+	hosts := map[cloud.InstanceID]int{}
+	for _, info := range r.ctrl.ListVMs() {
+		hosts[info.Host]++
+	}
+	if len(hosts) != 1 {
+		t.Errorf("VMs spread over %d hosts, want 1", len(hosts))
+	}
+}

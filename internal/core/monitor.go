@@ -1,0 +1,311 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/nestedvm"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+// startMonitor launches the controller's periodic loop: it samples spot
+// prices into History (feeding the probabilistic policies), triggers
+// proactive migrations under k×OD bidding, and migrates VMs back to spot
+// pools once a price spike has abated for the hold-down period (§4.3's
+// allocation dynamics).
+func (c *Controller) startMonitor() {
+	c.lastAboveOD = map[spotmarket.MarketKey]simkit.Time{}
+	c.prevPrice = map[spotmarket.MarketKey]cloud.USD{}
+	var tick func()
+	tick = func() {
+		prev := c.snapshotPrices()
+		c.observePrices()
+		if c.cfg.Bidding.Proactive() {
+			c.proactiveSweep()
+		}
+		if c.cfg.Predictive.Enabled {
+			c.predictiveSweep(prev)
+		}
+		c.returnSweep()
+		c.sched.After(c.cfg.MonitorInterval, "monitor", tick)
+	}
+	c.sched.After(c.cfg.MonitorInterval, "monitor", tick)
+}
+
+// snapshotPrices copies the previous tick's samples before they are
+// overwritten.
+func (c *Controller) snapshotPrices() map[spotmarket.MarketKey]cloud.USD {
+	prev := make(map[spotmarket.MarketKey]cloud.USD, len(c.prevPrice))
+	for k, v := range c.prevPrice {
+		prev[k] = v
+	}
+	return prev
+}
+
+// observePrices samples every observable market's spot price. Markets with
+// price at or above the on-demand price have their lastAboveOD stamped for
+// the return hold-down.
+func (c *Controller) observePrices() {
+	now := c.sched.Now()
+	for _, typ := range c.prov.Catalog() {
+		if !typ.HVM {
+			continue
+		}
+		for _, zone := range c.prov.Zones() {
+			price, err := c.prov.SpotPrice(typ.Name, zone)
+			if err != nil {
+				continue
+			}
+			key := spotmarket.MarketKey{Type: typ.Name, Zone: zone}
+			c.history.ObservePrice(key, price)
+			c.prevPrice[key] = price
+			if price >= typ.OnDemand {
+				c.lastAboveOD[key] = now
+			}
+		}
+	}
+}
+
+// proactiveSweep live-migrates VMs off spot pools whose price has crossed
+// the on-demand price but not yet the (k×OD) bid — avoiding the revocation
+// entirely at the cost of paying above-OD spot prices briefly.
+func (c *Controller) proactiveSweep() {
+	for _, key := range c.sortedPoolKeys() {
+		if key.Market != cloud.MarketSpot {
+			continue
+		}
+		pool := c.pools[key]
+		if len(pool.hosts) == 0 {
+			continue
+		}
+		price, err := c.prov.SpotPrice(key.Type, key.Zone)
+		if err != nil {
+			continue
+		}
+		od, err := c.prov.OnDemandPrice(key.Type)
+		if err != nil {
+			continue
+		}
+		if price <= od || price > pool.bid {
+			continue
+		}
+		for _, id := range sortedHostIDs(pool.hosts) {
+			h := pool.hosts[id]
+			if h.warned {
+				continue
+			}
+			for _, vs := range hostVMsSorted(h) {
+				if vs.phase == phaseRunning {
+					c.migrateVM(vs, reasonProactive, 0)
+				}
+			}
+		}
+	}
+}
+
+// predictiveSweep evacuates spot pools whose price is rising toward the
+// bid: price at or above threshold×on-demand AND above the previous sample.
+// Unlike proactiveSweep (which waits for the price to actually cross the
+// on-demand price under a k×OD bid), the predictor acts on the trend and
+// therefore works even when the bid equals the on-demand price — at the
+// risk of mispredicting (§3.2).
+func (c *Controller) predictiveSweep(prev map[spotmarket.MarketKey]cloud.USD) {
+	threshold := c.cfg.Predictive.threshold()
+	for _, key := range c.sortedPoolKeys() {
+		if key.Market != cloud.MarketSpot {
+			continue
+		}
+		pool := c.pools[key]
+		if len(pool.hosts) == 0 {
+			continue
+		}
+		mkey := spotmarket.MarketKey{Type: key.Type, Zone: key.Zone}
+		price, err := c.prov.SpotPrice(key.Type, key.Zone)
+		if err != nil {
+			continue
+		}
+		od, err := c.prov.OnDemandPrice(key.Type)
+		if err != nil {
+			continue
+		}
+		last, seen := prev[mkey]
+		if !seen || price <= last {
+			continue // not rising
+		}
+		if float64(price) < threshold*float64(od) {
+			continue // not near the bid yet
+		}
+		for _, id := range sortedHostIDs(pool.hosts) {
+			h := pool.hosts[id]
+			if h.warned {
+				continue // too late: the real warning already fired
+			}
+			for _, vs := range hostVMsSorted(h) {
+				if vs.phase == phaseRunning {
+					c.stats.PredictiveMigrations++
+					c.migrateVM(vs, reasonProactive, 0)
+				}
+			}
+		}
+	}
+}
+
+// returnSweep migrates VMs hosted on on-demand servers back to spot pools
+// once prices have stayed below on-demand for the hold-down period.
+func (c *Controller) returnSweep() {
+	now := c.sched.Now()
+	for _, key := range c.sortedPoolKeys() {
+		if key.Market != cloud.MarketOnDemand {
+			continue
+		}
+		pool := c.pools[key]
+		for _, id := range sortedHostIDs(pool.hosts) {
+			h := pool.hosts[id]
+			if h.role != roleHost {
+				continue
+			}
+			for _, vs := range hostVMsSorted(h) {
+				if vs.phase != phaseRunning {
+					continue
+				}
+				if !c.spotCalmFor(vs, now) {
+					continue
+				}
+				c.tryReturn(vs)
+			}
+		}
+	}
+}
+
+// spotCalmFor reports whether the placement policy's candidate markets have
+// been calm (below on-demand) long enough to return this VM to spot. It
+// checks the markets the policy could choose; a single calm candidate is
+// enough since the return-time Choose call may pick it.
+func (c *Controller) spotCalmFor(vs *vmState, now simkit.Time) bool {
+	// A market qualifies when observed, currently below OD, last above OD
+	// more than ReturnHoldDown ago — and able to host the requested type.
+	for _, key := range c.observedMarkets() {
+		typ, ok := c.prov.TypeByName(key.Type)
+		if !ok || typ.Units(vs.vm.Type) <= 0 {
+			continue
+		}
+		if c.marketCalm(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// marketCalm reports whether a spot market's price is below the on-demand
+// price and has been for at least the return hold-down. With the predictor
+// enabled, a market loitering at or above the prediction threshold also
+// counts as hot — otherwise the return sweep would undo every predictive
+// evacuation while the price plateaus just below on-demand.
+func (c *Controller) marketCalm(key spotmarket.MarketKey) bool {
+	typ, ok := c.prov.TypeByName(key.Type)
+	if !ok {
+		return false
+	}
+	price, err := c.prov.SpotPrice(key.Type, key.Zone)
+	if err != nil || price >= typ.OnDemand {
+		return false
+	}
+	if c.cfg.Predictive.Enabled &&
+		float64(price) >= c.cfg.Predictive.threshold()*float64(typ.OnDemand) {
+		return false
+	}
+	if last, seen := c.lastAboveOD[key]; seen && c.sched.Now()-last < c.cfg.ReturnHoldDown {
+		return false
+	}
+	return true
+}
+
+// observedMarkets lists markets present in history, sorted.
+func (c *Controller) observedMarkets() []spotmarket.MarketKey {
+	return c.history.sortedMarkets()
+}
+
+func (c *Controller) sortedPoolKeys() []PoolKey {
+	keys := make([]PoolKey, 0, len(c.pools))
+	for k := range c.pools {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.Zone != b.Zone {
+			return a.Zone < b.Zone
+		}
+		return a.Market < b.Market
+	})
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// Hot spares (§4.3)
+
+// requestSpare launches an idle on-demand server to stand ready for
+// instant failover.
+func (c *Controller) requestSpare() {
+	if c.shutdown {
+		return
+	}
+	c.sparePending++
+	c.prov.RunOnDemand(c.cfg.HotSpareType, c.cfg.BackupZone, func(inst *cloud.Instance, err error) {
+		c.sparePending--
+		if c.shutdown {
+			if inst != nil {
+				_ = c.prov.Terminate(inst.ID, nil)
+			}
+			return
+		}
+		if err != nil {
+			// Retry later; spares are an optimization, not a correctness
+			// requirement.
+			c.sched.After(c.cfg.MonitorInterval, "spare-retry", func() { c.requestSpare() })
+			return
+		}
+		h := &hostState{
+			inst: inst,
+			role: roleHotSpare,
+			vms:  map[nestedvm.ID]*vmState{},
+		}
+		c.hosts[inst.ID] = h
+		c.rentals = append(c.rentals, rental{id: inst.ID, kind: rentalSpare})
+		c.spares = append(c.spares, h)
+	})
+}
+
+// takeSpare converts a ready hot spare into a live on-demand host sliced
+// for slotType, and replenishes the spare pool.
+func (c *Controller) takeSpare(slotType cloud.InstanceType) *hostState {
+	for i, h := range c.spares {
+		capacity := h.inst.Type.Units(slotType)
+		if capacity < 1 || h.inst.State != cloud.StateRunning {
+			continue
+		}
+		c.spares = append(c.spares[:i], c.spares[i+1:]...)
+		h.role = roleHost
+		h.slotType = slotType
+		h.capacity = capacity
+		h.key = PoolKey{Type: h.inst.Type.Name, Zone: h.inst.Zone, Market: cloud.MarketOnDemand}
+		c.poolFor(h.key).hosts[h.inst.ID] = h
+		c.requestSpare()
+		return h
+	}
+	return nil
+}
+
+// SparesReady reports how many hot spares are currently idle and running.
+func (c *Controller) SparesReady() int {
+	n := 0
+	for _, h := range c.spares {
+		if h.inst.State == cloud.StateRunning {
+			n++
+		}
+	}
+	return n
+}

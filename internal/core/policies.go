@@ -1,0 +1,478 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/spotmarket"
+)
+
+// History is the controller's own record of market behaviour: trailing
+// price observations (sampled by the monitor loop) and per-pool revocation
+// counts. The probabilistic policies (4P-COST, 4P-ST) weight pools by these
+// observations rather than by instantaneous prices (§6.2, Table 2).
+type History struct {
+	prices map[spotmarket.MarketKey]*priceWindow
+	// revocations counts revocation events per market.
+	revocations map[spotmarket.MarketKey]int
+}
+
+const priceWindowCap = 24 * 7 // one week of hourly-ish samples
+
+type priceWindow struct {
+	samples []float64
+	next    int
+	full    bool
+}
+
+func (w *priceWindow) add(v float64) {
+	if len(w.samples) < priceWindowCap {
+		w.samples = append(w.samples, v)
+		return
+	}
+	w.samples[w.next] = v
+	w.next = (w.next + 1) % priceWindowCap
+	w.full = true
+}
+
+func (w *priceWindow) mean() float64 {
+	if len(w.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range w.samples {
+		s += v
+	}
+	return s / float64(len(w.samples))
+}
+
+func (w *priceWindow) stddev() float64 {
+	n := len(w.samples)
+	if n < 2 {
+		return 0
+	}
+	m := w.mean()
+	var ss float64
+	for _, v := range w.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{
+		prices:      map[spotmarket.MarketKey]*priceWindow{},
+		revocations: map[spotmarket.MarketKey]int{},
+	}
+}
+
+// ObservePrice records a price sample for a market.
+func (h *History) ObservePrice(key spotmarket.MarketKey, price cloud.USD) {
+	w := h.prices[key]
+	if w == nil {
+		w = &priceWindow{}
+		h.prices[key] = w
+	}
+	w.add(float64(price))
+}
+
+// ObserveRevocation records a revocation event in a market.
+func (h *History) ObserveRevocation(key spotmarket.MarketKey) {
+	h.revocations[key]++
+}
+
+// MeanPrice returns the trailing mean observed price, or 0 if unobserved.
+func (h *History) MeanPrice(key spotmarket.MarketKey) cloud.USD {
+	if w := h.prices[key]; w != nil {
+		return cloud.USD(w.mean())
+	}
+	return 0
+}
+
+// Volatility returns the trailing price standard deviation.
+func (h *History) Volatility(key spotmarket.MarketKey) float64 {
+	if w := h.prices[key]; w != nil {
+		return w.stddev()
+	}
+	return 0
+}
+
+// Revocations returns the revocation count observed in a market.
+func (h *History) Revocations(key spotmarket.MarketKey) int {
+	return h.revocations[key]
+}
+
+// ---------------------------------------------------------------------------
+// Placement policies (Table 2 + §4.2's greedy and stability-first)
+
+// PlacementContext carries what a placement policy may consult.
+type PlacementContext struct {
+	// Requested is the nested VM type the customer asked for.
+	Requested cloud.InstanceType
+	// Provider gives catalog and current prices.
+	Provider cloud.Provider
+	// History gives trailing prices and revocation counts.
+	History *History
+	// Rand drives probabilistic policies deterministically.
+	Rand *rand.Rand
+}
+
+// PlacementPolicy selects the spot market (native type + zone) that hosts a
+// new nested VM.
+type PlacementPolicy interface {
+	Name() string
+	Choose(ctx *PlacementContext) (typ string, zone cloud.Zone, err error)
+}
+
+// roundRobin cycles deterministically through markets (1P/2P/4P policies).
+type roundRobin struct {
+	name    string
+	markets []spotmarket.MarketKey
+	next    int
+}
+
+func (p *roundRobin) Name() string { return p.name }
+
+func (p *roundRobin) Choose(*PlacementContext) (string, cloud.Zone, error) {
+	if len(p.markets) == 0 {
+		return "", "", fmt.Errorf("core: policy %s has no markets", p.name)
+	}
+	m := p.markets[p.next%len(p.markets)]
+	p.next++
+	return m.Type, m.Zone, nil
+}
+
+// NewRoundRobinPolicy distributes VMs equally across the given markets.
+func NewRoundRobinPolicy(name string, markets []spotmarket.MarketKey) PlacementPolicy {
+	return &roundRobin{name: name, markets: markets}
+}
+
+// NewZoneSpreadPolicy distributes VMs of one native type equally across
+// availability zones. Prices are uncorrelated across zones (Figure 6c), so
+// zone spreading reduces storm risk exactly like type spreading (§4.4:
+// SpotCheck's strategies operate across types *and* zones).
+func NewZoneSpreadPolicy(typ string, zones []cloud.Zone) PlacementPolicy {
+	markets := make([]spotmarket.MarketKey, len(zones))
+	for i, z := range zones {
+		markets[i] = spotmarket.MarketKey{Type: typ, Zone: z}
+	}
+	return &roundRobin{name: fmt.Sprintf("%dZ-%s", len(zones), typ), markets: markets}
+}
+
+// defaultZone is the zone the named Table 2 policies use; the paper runs
+// its microbenchmarks in a single availability zone.
+const defaultZone = cloud.Zone("zone-a")
+
+// Policy1PM maps all VMs to the single m3.medium pool ("1P-M").
+func Policy1PM() PlacementPolicy {
+	return NewRoundRobinPolicy("1P-M", []spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: defaultZone},
+	})
+}
+
+// Policy2PML distributes VMs equally between the m3.medium and m3.large
+// pools ("2P-ML").
+func Policy2PML() PlacementPolicy {
+	return NewRoundRobinPolicy("2P-ML", []spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: defaultZone},
+		{Type: cloud.M3Large, Zone: defaultZone},
+	})
+}
+
+func fourPools() []spotmarket.MarketKey {
+	return []spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: defaultZone},
+		{Type: cloud.M3Large, Zone: defaultZone},
+		{Type: cloud.M3XLarge, Zone: defaultZone},
+		{Type: cloud.M32XLarge, Zone: defaultZone},
+	}
+}
+
+// Policy4PED distributes VMs equally across the four m3 pools ("4P-ED").
+func Policy4PED() PlacementPolicy {
+	return NewRoundRobinPolicy("4P-ED", fourPools())
+}
+
+// weighted picks markets with probability proportional to a weight
+// function over history (4P-COST, 4P-ST).
+type weighted struct {
+	name    string
+	markets []spotmarket.MarketKey
+	weight  func(*PlacementContext, spotmarket.MarketKey) float64
+}
+
+func (p *weighted) Name() string { return p.name }
+
+func (p *weighted) Choose(ctx *PlacementContext) (string, cloud.Zone, error) {
+	if len(p.markets) == 0 {
+		return "", "", fmt.Errorf("core: policy %s has no markets", p.name)
+	}
+	weights := make([]float64, len(p.markets))
+	var total float64
+	for i, m := range p.markets {
+		w := p.weight(ctx, m)
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			w = 0
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		// No history yet: fall back to uniform.
+		m := p.markets[ctx.Rand.Intn(len(p.markets))]
+		return m.Type, m.Zone, nil
+	}
+	x := ctx.Rand.Float64() * total
+	for i, m := range p.markets {
+		x -= weights[i]
+		if x < 0 {
+			return m.Type, m.Zone, nil
+		}
+	}
+	last := p.markets[len(p.markets)-1]
+	return last.Type, last.Zone, nil
+}
+
+// Policy4PCOST weights the four pools by inverse trailing unit cost: "the
+// lower the cost of the pool over a period, the higher the probability of
+// mapping a VM into that pool" ("4P-COST"). Prices are normalised per slot
+// of the requested type so large, sliceable servers compete fairly.
+func Policy4PCOST() PlacementPolicy {
+	return &weighted{
+		name:    "4P-COST",
+		markets: fourPools(),
+		weight: func(ctx *PlacementContext, m spotmarket.MarketKey) float64 {
+			mean := float64(ctx.History.MeanPrice(m))
+			if mean <= 0 {
+				return 0
+			}
+			typ, ok := ctx.Provider.TypeByName(m.Type)
+			if !ok {
+				return 0
+			}
+			units := typ.Units(ctx.Requested)
+			if units <= 0 {
+				return 0
+			}
+			return float64(units) / mean
+		},
+	}
+}
+
+// Policy4PST weights the four pools by inverse observed revocations: "the
+// fewer the number of migrations over a period, the higher the probability
+// of mapping a VM into that pool" ("4P-ST").
+func Policy4PST() PlacementPolicy {
+	return &weighted{
+		name:    "4P-ST",
+		markets: fourPools(),
+		weight: func(ctx *PlacementContext, m spotmarket.MarketKey) float64 {
+			return 1 / (1 + float64(ctx.History.Revocations(m)))
+		},
+	}
+}
+
+// greedyCheapest implements §4.2's default acquisition: pick the market
+// whose *current* spot price per slot of the requested type is lowest,
+// exploiting non-proportional size-to-price ratios (arbitrage via slicing).
+type greedyCheapest struct {
+	markets []spotmarket.MarketKey
+}
+
+func (p *greedyCheapest) Name() string { return "greedy-cheapest" }
+
+func (p *greedyCheapest) Choose(ctx *PlacementContext) (string, cloud.Zone, error) {
+	best := -1
+	bestUnit := math.Inf(1)
+	for i, m := range p.markets {
+		typ, ok := ctx.Provider.TypeByName(m.Type)
+		if !ok {
+			continue
+		}
+		units := typ.Units(ctx.Requested)
+		if units <= 0 {
+			continue
+		}
+		price, err := ctx.Provider.SpotPrice(m.Type, m.Zone)
+		if err != nil {
+			continue
+		}
+		unit := float64(price) / float64(units)
+		if unit < bestUnit {
+			bestUnit = unit
+			best = i
+		}
+	}
+	if best < 0 {
+		return "", "", fmt.Errorf("core: greedy policy found no feasible market")
+	}
+	return p.markets[best].Type, p.markets[best].Zone, nil
+}
+
+// NewGreedyCheapestPolicy returns the cheapest-per-slot policy over the
+// given markets (defaults to the four m3 pools when markets is nil).
+func NewGreedyCheapestPolicy(markets []spotmarket.MarketKey) PlacementPolicy {
+	if markets == nil {
+		markets = fourPools()
+	}
+	return &greedyCheapest{markets: markets}
+}
+
+// stabilityFirst implements §4.2's conservative alternative: pick the
+// market with the most stable trailing prices among those that can host
+// the request.
+type stabilityFirst struct {
+	markets []spotmarket.MarketKey
+}
+
+func (p *stabilityFirst) Name() string { return "stability-first" }
+
+func (p *stabilityFirst) Choose(ctx *PlacementContext) (string, cloud.Zone, error) {
+	best := -1
+	bestVol := math.Inf(1)
+	for i, m := range p.markets {
+		typ, ok := ctx.Provider.TypeByName(m.Type)
+		if !ok || typ.Units(ctx.Requested) <= 0 {
+			continue
+		}
+		vol := ctx.History.Volatility(m)
+		if vol < bestVol {
+			bestVol = vol
+			best = i
+		}
+	}
+	if best < 0 {
+		return "", "", fmt.Errorf("core: stability policy found no feasible market")
+	}
+	return p.markets[best].Type, p.markets[best].Zone, nil
+}
+
+// NewStabilityFirstPolicy returns the lowest-volatility policy over the
+// given markets (defaults to the four m3 pools when markets is nil).
+func NewStabilityFirstPolicy(markets []spotmarket.MarketKey) PlacementPolicy {
+	if markets == nil {
+		markets = fourPools()
+	}
+	return &stabilityFirst{markets: markets}
+}
+
+// NamedPolicies returns the five Table 2 policies in evaluation order.
+func NamedPolicies() []PlacementPolicy {
+	return []PlacementPolicy{
+		Policy1PM(), Policy2PML(), Policy4PED(), Policy4PCOST(), Policy4PST(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Bidding policies (§4.3)
+
+// BiddingPolicy determines the bid for every server in a spot pool.
+type BiddingPolicy interface {
+	Name() string
+	// Bid maps the equivalent on-demand price to the pool's bid.
+	Bid(onDemand cloud.USD) cloud.USD
+	// Proactive reports whether the controller should live-migrate off a
+	// spot pool as soon as its price exceeds the on-demand price (feasible
+	// only when the bid leaves headroom above the on-demand price).
+	Proactive() bool
+}
+
+// OnDemandBid bids exactly the on-demand price: revocations then coincide
+// with the moments on-demand capacity becomes the cheaper option, which the
+// paper observes approximates bidding at the knee of the availability-bid
+// curve.
+type OnDemandBid struct{}
+
+// Name implements BiddingPolicy.
+func (OnDemandBid) Name() string { return "bid=od" }
+
+// Bid implements BiddingPolicy.
+func (OnDemandBid) Bid(od cloud.USD) cloud.USD { return od }
+
+// Proactive implements BiddingPolicy.
+func (OnDemandBid) Proactive() bool { return false }
+
+// MultipleBid bids K times the on-demand price (K > 1) and migrates
+// proactively once the price crosses the on-demand price, trading a higher
+// worst-case hourly cost for fewer forced revocations.
+type MultipleBid struct{ K float64 }
+
+// Name implements BiddingPolicy.
+func (m MultipleBid) Name() string { return fmt.Sprintf("bid=%gx-od", m.K) }
+
+// Bid implements BiddingPolicy.
+func (m MultipleBid) Bid(od cloud.USD) cloud.USD { return cloud.USD(m.K * float64(od)) }
+
+// Proactive implements BiddingPolicy.
+func (m MultipleBid) Proactive() bool { return true }
+
+// PredictiveConfig tunes trend-based proactive migration.
+type PredictiveConfig struct {
+	// Enabled turns the predictor on.
+	Enabled bool
+	// Threshold is the fraction of the on-demand price at which a rising
+	// price triggers evacuation (e.g. 0.8). Values <= 0 default to 0.8.
+	Threshold float64
+}
+
+func (p PredictiveConfig) threshold() float64 {
+	if p.Threshold <= 0 {
+		return 0.8
+	}
+	return p.Threshold
+}
+
+// ---------------------------------------------------------------------------
+// Destination policies (§4.3)
+
+// DestinationPolicy selects where revoked nested VMs are re-hosted.
+type DestinationPolicy int
+
+const (
+	// DestOnDemand lazily requests fresh on-demand servers on each
+	// revocation. Feasible because on-demand startup (~62 s) fits inside
+	// the 120 s warning.
+	DestOnDemand DestinationPolicy = iota
+	// DestHotSpare keeps pre-launched idle on-demand servers and migrates
+	// into them instantly, replenishing the spare pool afterwards.
+	DestHotSpare
+	// DestStaging parks revoked VMs in spare slots on existing hosts in
+	// other pools, then performs a second (live) migration to a fresh
+	// server — reducing risk without standing spare cost, at the price of
+	// doubled migrations.
+	DestStaging
+)
+
+func (d DestinationPolicy) String() string {
+	switch d {
+	case DestOnDemand:
+		return "lazy-on-demand"
+	case DestHotSpare:
+		return "hot-spare"
+	case DestStaging:
+		return "staging"
+	default:
+		return fmt.Sprintf("destination(%d)", int(d))
+	}
+}
+
+// sortedMarkets returns history keys in deterministic order (test helper
+// and report ordering).
+func (h *History) sortedMarkets() []spotmarket.MarketKey {
+	keys := make([]spotmarket.MarketKey, 0, len(h.prices))
+	for k := range h.prices {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Type != keys[j].Type {
+			return keys[i].Type < keys[j].Type
+		}
+		return keys[i].Zone < keys[j].Zone
+	})
+	return keys
+}

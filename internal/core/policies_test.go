@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/spotmarket"
+)
+
+func testCtx(t *testing.T, h *History) *PlacementContext {
+	t.Helper()
+	r := newRig(t, nil, nil)
+	if h == nil {
+		h = NewHistory()
+	}
+	return &PlacementContext{
+		Requested: mustType(t, r, cloud.M3Medium),
+		Provider:  r.plat,
+		History:   h,
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+}
+
+func mustType(t *testing.T, r *testRig, name string) cloud.InstanceType {
+	t.Helper()
+	typ, ok := r.plat.TypeByName(name)
+	if !ok {
+		t.Fatalf("type %s missing", name)
+	}
+	return typ
+}
+
+func TestHistoryWindowStats(t *testing.T) {
+	h := NewHistory()
+	key := spotmarket.MarketKey{Type: cloud.M3Medium, Zone: "zone-a"}
+	if h.MeanPrice(key) != 0 || h.Volatility(key) != 0 || h.Revocations(key) != 0 {
+		t.Error("empty history should be zeros")
+	}
+	for _, p := range []float64{0.01, 0.02, 0.03} {
+		h.ObservePrice(key, cloud.USD(p))
+	}
+	if m := float64(h.MeanPrice(key)); math.Abs(m-0.02) > 1e-12 {
+		t.Errorf("mean = %v, want 0.02", m)
+	}
+	if v := h.Volatility(key); math.Abs(v-0.01) > 1e-12 {
+		t.Errorf("stddev = %v, want 0.01", v)
+	}
+	h.ObserveRevocation(key)
+	h.ObserveRevocation(key)
+	if h.Revocations(key) != 2 {
+		t.Error("revocation count wrong")
+	}
+}
+
+func TestHistoryWindowRingBuffer(t *testing.T) {
+	h := NewHistory()
+	key := spotmarket.MarketKey{Type: "x", Zone: "z"}
+	// Fill far past the window with 1.0, then push the window full of 2.0:
+	// the old samples must age out entirely.
+	for i := 0; i < priceWindowCap; i++ {
+		h.ObservePrice(key, 1.0)
+	}
+	for i := 0; i < priceWindowCap; i++ {
+		h.ObservePrice(key, 2.0)
+	}
+	if m := float64(h.MeanPrice(key)); m != 2.0 {
+		t.Errorf("mean after rollover = %v, want 2.0 (window fully replaced)", m)
+	}
+}
+
+func TestRoundRobinPolicyCycles(t *testing.T) {
+	markets := []spotmarket.MarketKey{
+		{Type: "a", Zone: "z"}, {Type: "b", Zone: "z"},
+	}
+	p := NewRoundRobinPolicy("test", markets)
+	ctx := testCtx(t, nil)
+	var got []string
+	for i := 0; i < 4; i++ {
+		typ, _, err := p.Choose(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, typ)
+	}
+	want := []string{"a", "b", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v", got)
+		}
+	}
+	if p.Name() != "test" {
+		t.Error("name wrong")
+	}
+	empty := NewRoundRobinPolicy("empty", nil)
+	if _, _, err := empty.Choose(ctx); err == nil {
+		t.Error("empty policy should error")
+	}
+}
+
+func TestNamedPoliciesMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range NamedPolicies() {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"1P-M", "2P-ML", "4P-ED", "4P-COST", "4P-ST"} {
+		if !names[want] {
+			t.Errorf("policy %s missing", want)
+		}
+	}
+}
+
+func TestWeightedPolicyFallsBackUniform(t *testing.T) {
+	// No history: 4P-COST weights are all zero; the choice must still
+	// succeed (uniform fallback) and stay within the four pools.
+	p := Policy4PCOST()
+	ctx := testCtx(t, nil)
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		typ, zone, err := p.Choose(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zone != "zone-a" {
+			t.Errorf("zone = %v", zone)
+		}
+		seen[typ] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("uniform fallback explored only %v", seen)
+	}
+}
+
+func TestWeightedPolicyPrefersCheapHistory(t *testing.T) {
+	h := NewHistory()
+	// Medium trades at a deep discount; the others are expensive per slot.
+	h.ObservePrice(spotmarket.MarketKey{Type: cloud.M3Medium, Zone: defaultZone}, 0.001)
+	h.ObservePrice(spotmarket.MarketKey{Type: cloud.M3Large, Zone: defaultZone}, 0.10)
+	h.ObservePrice(spotmarket.MarketKey{Type: cloud.M3XLarge, Zone: defaultZone}, 0.25)
+	h.ObservePrice(spotmarket.MarketKey{Type: cloud.M32XLarge, Zone: defaultZone}, 0.50)
+	p := Policy4PCOST()
+	ctx := testCtx(t, h)
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		typ, _, err := p.Choose(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[typ]++
+	}
+	if counts[cloud.M3Medium] < 150 {
+		t.Errorf("cheap pool chosen %d/200 times, want overwhelming majority: %v", counts[cloud.M3Medium], counts)
+	}
+}
+
+func TestStabilityWeightedAvoidsRevokedPools(t *testing.T) {
+	h := NewHistory()
+	// The medium pool has been revoked often; others never.
+	for i := 0; i < 50; i++ {
+		h.ObserveRevocation(spotmarket.MarketKey{Type: cloud.M3Medium, Zone: defaultZone})
+	}
+	p := Policy4PST()
+	ctx := testCtx(t, h)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		typ, _, err := p.Choose(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[typ]++
+	}
+	// Weight 1/51 vs 1 for the others: medium should get ~2% of picks.
+	if counts[cloud.M3Medium] > 30 {
+		t.Errorf("revoked pool still chosen %d/300 times: %v", counts[cloud.M3Medium], counts)
+	}
+}
+
+func TestGreedySkipsInfeasibleMarkets(t *testing.T) {
+	// Greedy over a market list including a type too small for the
+	// request: it must skip it rather than slice impossibly.
+	r := newRig(t, nil, nil)
+	p := NewGreedyCheapestPolicy([]spotmarket.MarketKey{
+		{Type: cloud.M1Small, Zone: "zone-a"}, // cannot host a medium
+		{Type: cloud.M3Medium, Zone: "zone-a"},
+	})
+	ctx := &PlacementContext{
+		Requested: mustType(t, r, cloud.M3Medium),
+		Provider:  r.plat,
+		History:   NewHistory(),
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	typ, _, err := p.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != cloud.M3Medium {
+		t.Errorf("greedy chose %s", typ)
+	}
+	if p.Name() != "greedy-cheapest" {
+		t.Error("name wrong")
+	}
+	// All markets infeasible: error.
+	bad := NewGreedyCheapestPolicy([]spotmarket.MarketKey{{Type: cloud.M1Small, Zone: "zone-a"}})
+	if _, _, err := bad.Choose(ctx); err == nil {
+		t.Error("infeasible market list accepted")
+	}
+}
+
+func TestStabilityFirstPolicy(t *testing.T) {
+	h := NewHistory()
+	// Large pool is volatile, medium flat.
+	for i := 0; i < 10; i++ {
+		h.ObservePrice(spotmarket.MarketKey{Type: cloud.M3Medium, Zone: defaultZone}, 0.01)
+		h.ObservePrice(spotmarket.MarketKey{Type: cloud.M3Large, Zone: defaultZone}, cloud.USD(0.01*float64(1+i%5)))
+	}
+	p := NewStabilityFirstPolicy([]spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: defaultZone},
+		{Type: cloud.M3Large, Zone: defaultZone},
+	})
+	ctx := testCtx(t, h)
+	typ, _, err := p.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != cloud.M3Medium {
+		t.Errorf("stability-first chose the volatile pool %s", typ)
+	}
+	if p.Name() != "stability-first" {
+		t.Error("name wrong")
+	}
+	// Default market list is non-empty.
+	if _, _, err := NewStabilityFirstPolicy(nil).Choose(ctx); err != nil {
+		t.Errorf("default markets: %v", err)
+	}
+}
+
+func TestBiddingPolicies(t *testing.T) {
+	od := OnDemandBid{}
+	if od.Bid(0.07) != 0.07 || od.Proactive() || od.Name() != "bid=od" {
+		t.Error("OnDemandBid wrong")
+	}
+	m := MultipleBid{K: 1.5}
+	if math.Abs(float64(m.Bid(0.07))-0.105) > 1e-12 || !m.Proactive() {
+		t.Error("MultipleBid wrong")
+	}
+	if m.Name() != "bid=1.5x-od" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestDestinationPolicyString(t *testing.T) {
+	for d, want := range map[DestinationPolicy]string{
+		DestOnDemand: "lazy-on-demand", DestHotSpare: "hot-spare", DestStaging: "staging",
+	} {
+		if d.String() != want {
+			t.Errorf("%d = %q", int(d), d.String())
+		}
+	}
+	if DestinationPolicy(9).String() != "destination(9)" {
+		t.Error("unknown destination string")
+	}
+}
+
+func TestPredictiveConfigThreshold(t *testing.T) {
+	if (PredictiveConfig{}).threshold() != 0.8 {
+		t.Error("default threshold wrong")
+	}
+	if (PredictiveConfig{Threshold: 0.5}).threshold() != 0.5 {
+		t.Error("explicit threshold ignored")
+	}
+}
+
+func TestZoneSpreadPolicyName(t *testing.T) {
+	p := NewZoneSpreadPolicy(cloud.M3Medium, []cloud.Zone{"zone-a", "zone-b"})
+	if p.Name() != "2Z-m3.medium" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestMigrationReasonString(t *testing.T) {
+	for r, want := range map[migrationReason]string{
+		reasonRevocation: "revocation", reasonProactive: "proactive",
+		reasonReturn: "return", reasonStagingHop: "staging-hop",
+	} {
+		if r.String() != want {
+			t.Errorf("%d = %q", int(r), r.String())
+		}
+	}
+	if migrationReason(9).String() != "reason(9)" {
+		t.Error("unknown reason string")
+	}
+}
+
+func TestPoolKeyString(t *testing.T) {
+	k := PoolKey{Type: cloud.M3Medium, Zone: "zone-a", Market: cloud.MarketSpot}
+	if k.String() != "m3.medium/zone-a/spot" {
+		t.Errorf("PoolKey string = %q", k.String())
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/nestedvm"
+	"repro/internal/simkit"
+)
+
+// Report aggregates the controller's cost, availability and performance
+// accounting — the quantities Figures 10-12 and Table 3 plot.
+type Report struct {
+	At simkit.Time
+
+	// VMHours is total nested-VM service time.
+	VMHours float64
+	// Costs in dollars, split by what the native instance was rented for.
+	HostCost   cloud.USD
+	BackupCost cloud.USD
+	SpareCost  cloud.USD
+	TotalCost  cloud.USD
+	// CostPerVMHour is TotalCost / VMHours — the paper's headline
+	// "average cost per hour" for an equivalent nested VM (Figure 10).
+	CostPerVMHour cloud.USD
+
+	// Availability is 1 - total downtime / total service time across all
+	// VMs (Figure 11 plots its complement as a percentage).
+	Availability float64
+	// DegradedFraction is total degraded time / total service time
+	// (Figure 12).
+	DegradedFraction float64
+
+	// TotalDown and TotalDegraded are the raw accumulations.
+	TotalDown     simkit.Time
+	TotalDegraded simkit.Time
+
+	Stats ControllerStats
+
+	// StormSizes are the per-event concurrent revocation counts (Table 3).
+	StormSizes []int
+	// MaxStorm is the largest single storm.
+	MaxStorm int
+	// BackupServers is the number of backup servers provisioned.
+	BackupServers int
+	// BackupVMsMax is the largest number of VMs multiplexed on one backup
+	// server.
+	BackupVMsMax int
+
+	// MaxDownSpell is the longest single unavailability interval any VM
+	// experienced; TCPBreaks counts down spells exceeding the 60 s TCP
+	// timeout — the paper's §5 claim is that SpotCheck's ~23 s migration
+	// downtime "is not long enough to break TCP connections".
+	MaxDownSpell simkit.Time
+	TCPBreaks    int
+}
+
+// TCPTimeout is the conservative connection timeout the paper cites
+// ("generally requires a timeout of greater than one minute").
+const TCPTimeout = 60 * simkit.Second
+
+// CustomerReport is the per-tenant view a derivative cloud bills from:
+// SpotCheck resells shared infrastructure, so each customer's cost share
+// is its fraction of the fleet's VM-hours.
+type CustomerReport struct {
+	Customer     string
+	VMs          int
+	VMHours      float64
+	Availability float64
+	// CostShare is the customer's amortized share of the total rental
+	// bill (hosts + backups + spares) in dollars.
+	CostShare cloud.USD
+}
+
+// Customers breaks the current accounting down per tenant, sorted by name.
+// Host and spare costs are prorated by VM-hours across everyone; backup
+// server costs are prorated across *stateful* VM-hours only, since
+// stateless VMs never checkpoint (§4.2).
+func (c *Controller) Customers() []CustomerReport {
+	now := c.sched.Now()
+	type acc struct {
+		vms      int
+		service  simkit.Time
+		stateful simkit.Time
+		down     simkit.Time
+	}
+	byName := map[string]*acc{}
+	var totalService, totalStateful simkit.Time
+	for _, id := range c.vmIDsSorted() {
+		vs := c.vms[id]
+		vm := vs.vm
+		if vm.Created == 0 && vs.phase == phaseProvisioning {
+			continue
+		}
+		end := now
+		if vs.phase == phaseReleased {
+			end = vs.serviceEnd
+		}
+		if end < vm.Created {
+			continue
+		}
+		a := byName[vm.Customer]
+		if a == nil {
+			a = &acc{}
+			byName[vm.Customer] = a
+		}
+		life := end - vm.Created
+		a.vms++
+		a.service += life
+		if !vs.stateless {
+			a.stateful += life
+			totalStateful += life
+		}
+		d, _ := vm.Ledger.Snapshot(end)
+		a.down += d
+		totalService += life
+	}
+	rep := c.Report()
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]CustomerReport, 0, len(names))
+	for _, n := range names {
+		a := byName[n]
+		cr := CustomerReport{
+			Customer:     n,
+			VMs:          a.vms,
+			VMHours:      a.service.Hours(),
+			Availability: 1,
+		}
+		if a.service > 0 {
+			cr.Availability = 1 - float64(a.down)/float64(a.service)
+		}
+		var share float64
+		if totalService > 0 {
+			share += float64(rep.HostCost+rep.SpareCost) * float64(a.service) / float64(totalService)
+		}
+		if totalStateful > 0 {
+			share += float64(rep.BackupCost) * float64(a.stateful) / float64(totalStateful)
+		}
+		cr.CostShare = cloud.USD(share)
+		out = append(out, cr)
+	}
+	return out
+}
+
+// Report computes the controller's aggregate accounting as of now.
+func (c *Controller) Report() Report {
+	now := c.sched.Now()
+	r := Report{At: now, Stats: c.stats}
+
+	var down, degraded simkit.Time
+	var serviceTotal simkit.Time
+	for _, id := range c.vmIDsSorted() {
+		vs := c.vms[id]
+		vm := vs.vm
+		if vm.Created == 0 && vs.phase == phaseProvisioning {
+			continue // never entered service
+		}
+		end := now
+		if vs.phase == phaseReleased {
+			end = vs.serviceEnd
+		}
+		if end < vm.Created {
+			continue
+		}
+		d, g := vm.Ledger.Snapshot(end)
+		down += d
+		degraded += g
+		serviceTotal += end - vm.Created
+		if spell := vm.Ledger.MaxDownSpell(end); spell > r.MaxDownSpell {
+			r.MaxDownSpell = spell
+		}
+		r.TCPBreaks += vm.Ledger.SpellsExceeding(TCPTimeout, end)
+	}
+	r.TotalDown, r.TotalDegraded = down, degraded
+	r.VMHours = serviceTotal.Hours()
+	if serviceTotal > 0 {
+		r.Availability = 1 - float64(down)/float64(serviceTotal)
+		r.DegradedFraction = float64(degraded) / float64(serviceTotal)
+	} else {
+		r.Availability = 1
+	}
+
+	for _, rt := range c.rentals {
+		cost, err := c.prov.AccruedCost(rt.id)
+		if err != nil {
+			continue
+		}
+		switch rt.kind {
+		case rentalHost:
+			r.HostCost += cost
+		case rentalBackup:
+			r.BackupCost += cost
+		case rentalSpare:
+			r.SpareCost += cost
+		}
+	}
+	r.TotalCost = r.HostCost + r.BackupCost + r.SpareCost
+	if r.VMHours > 0 {
+		r.CostPerVMHour = cloud.USD(float64(r.TotalCost) / r.VMHours)
+	}
+
+	for _, s := range c.storms {
+		r.StormSizes = append(r.StormSizes, s.VMs)
+		if s.VMs > r.MaxStorm {
+			r.MaxStorm = s.VMs
+		}
+	}
+	r.BackupServers = c.backups.Size()
+	r.BackupVMsMax = c.backups.MaxVMsPerServer()
+	return r
+}
+
+// VMInfo is the customer-visible view of a nested VM.
+type VMInfo struct {
+	ID           nestedvm.ID
+	Customer     string
+	Type         string
+	Phase        string
+	Host         cloud.InstanceID
+	HostType     string
+	Market       string
+	IP           string
+	BackupServer string
+	Migrations   int
+	Revocations  int
+	Availability float64
+	// Condition is the instantaneous service level ("normal", "degraded",
+	// "down") from the VM's ledger.
+	Condition string
+}
+
+// DescribeVM returns the current view of one nested VM.
+func (c *Controller) DescribeVM(id nestedvm.ID) (VMInfo, error) {
+	vs, ok := c.vms[id]
+	if !ok {
+		return VMInfo{}, fmt.Errorf("core: unknown VM %s", id)
+	}
+	return c.describe(vs), nil
+}
+
+// ListVMs returns all known VMs in id order.
+func (c *Controller) ListVMs() []VMInfo {
+	out := make([]VMInfo, 0, len(c.vms))
+	for _, id := range c.vmIDsSorted() {
+		out = append(out, c.describe(c.vms[id]))
+	}
+	return out
+}
+
+func (c *Controller) describe(vs *vmState) VMInfo {
+	vm := vs.vm
+	info := VMInfo{
+		ID:           vm.ID,
+		Customer:     vm.Customer,
+		Type:         vm.Type.Name,
+		Migrations:   vm.Migrations,
+		Revocations:  vm.Revocations,
+		BackupServer: vm.BackupServer,
+	}
+	switch vs.phase {
+	case phaseProvisioning:
+		info.Phase = "provisioning"
+	case phaseRunning:
+		info.Phase = "running"
+	case phaseMigrating:
+		info.Phase = "migrating"
+	case phaseReleased:
+		info.Phase = "released"
+	}
+	if vm.IP.IsValid() {
+		info.IP = vm.IP.String()
+	}
+	if vs.host != nil {
+		info.Host = vs.host.inst.ID
+		info.HostType = vs.host.inst.Type.Name
+		info.Market = vs.host.key.Market.String()
+	}
+	if vs.phase != phaseProvisioning {
+		end := c.sched.Now()
+		if vs.phase == phaseReleased {
+			end = vs.serviceEnd
+		}
+		info.Availability = vm.Ledger.Availability(vm.Created, end)
+		info.Condition = vm.Ledger.Condition().String()
+	} else {
+		info.Availability = 1
+		info.Condition = nestedvm.CondNormal.String()
+	}
+	return info
+}
+
+// PoolInfo summarizes one server pool for inspection.
+type PoolInfo struct {
+	Key         PoolKey
+	Bid         cloud.USD
+	Hosts       int
+	VMs         int
+	FreeSlots   int
+	Revocations int
+}
+
+// Pools returns summaries of all pools in deterministic order.
+func (c *Controller) Pools() []PoolInfo {
+	out := make([]PoolInfo, 0, len(c.pools))
+	for _, key := range c.sortedPoolKeys() {
+		p := c.pools[key]
+		info := PoolInfo{Key: key, Bid: p.bid, Revocations: p.revocations}
+		for _, h := range p.hosts {
+			info.Hosts++
+			info.VMs += len(h.vms)
+			info.FreeSlots += h.free()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// StormTable computes Table 3: for a fleet of n VMs and the given fractions
+// (e.g. 1/4, 1/2, 3/4, 1), the probability that an hour contains a
+// concurrent-revocation storm whose size falls in each fraction's bucket.
+// A storm of size s lands in the largest bucket f with s >= ceil(f*n).
+func StormTable(storms []int, n int, fractions []float64, hours float64) []float64 {
+	out := make([]float64, len(fractions))
+	if n <= 0 || hours <= 0 {
+		return out
+	}
+	// Sort fractions ascending for bucketing, but report in given order.
+	type fb struct {
+		frac float64
+		idx  int
+	}
+	fbs := make([]fb, len(fractions))
+	for i, f := range fractions {
+		fbs[i] = fb{f, i}
+	}
+	sort.Slice(fbs, func(i, j int) bool { return fbs[i].frac < fbs[j].frac })
+	counts := make([]float64, len(fractions))
+	for _, s := range storms {
+		// Find the largest fraction bucket this storm reaches.
+		best := -1
+		for _, b := range fbs {
+			threshold := int(b.frac*float64(n) + 0.999999)
+			if threshold < 1 {
+				threshold = 1
+			}
+			if s >= threshold {
+				best = b.idx
+			}
+		}
+		if best >= 0 {
+			counts[best]++
+		}
+	}
+	for i := range counts {
+		out[i] = counts[i] / hours
+	}
+	return out
+}
+
+// DebugLedgerInfo exposes raw per-VM ledger accounting (tests/debugging).
+type DebugLedgerInfo struct {
+	Down, Degraded             simkit.Time
+	DownSpells, DegradedSpells int
+}
+
+// DebugLedger returns raw ledger accounting for one VM.
+func (c *Controller) DebugLedger(id nestedvm.ID) DebugLedgerInfo {
+	vs, ok := c.vms[id]
+	if !ok {
+		return DebugLedgerInfo{}
+	}
+	end := c.sched.Now()
+	if vs.phase == phaseReleased {
+		end = vs.serviceEnd
+	}
+	down, deg := vs.vm.Ledger.Snapshot(end)
+	ds, gs := vs.vm.Ledger.Spells()
+	return DebugLedgerInfo{Down: down, Degraded: deg, DownSpells: ds, DegradedSpells: gs}
+}

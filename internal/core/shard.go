@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/nestedvm"
+)
+
+// Sharded partitions customers across independent controllers — §5's
+// scalability note: "if [the centralized controller] is [a bottleneck],
+// replicating it by partitioning customers across multiple independent
+// controllers is straightforward." Each shard owns its own pools and
+// backup servers; customers hash to a fixed shard so their VMs share
+// slicing and backup locality.
+type Sharded struct {
+	shards []*Controller
+}
+
+// NewSharded builds n controllers from the factory (called once per shard
+// index; give each shard its own seed for independent policy streams).
+func NewSharded(n int, factory func(shard int) (Config, error)) (*Sharded, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: need at least one shard")
+	}
+	s := &Sharded{shards: make([]*Controller, n)}
+	for i := 0; i < n; i++ {
+		cfg, err := factory(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		ctrl, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = ctrl
+	}
+	return s, nil
+}
+
+// Shards returns the underlying controllers.
+func (s *Sharded) Shards() []*Controller { return append([]*Controller(nil), s.shards...) }
+
+// shardFor hashes a customer to its home shard (FNV-1a).
+func (s *Sharded) shardFor(customer string) *Controller {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range []byte(customer) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// RequestServer provisions a VM on the customer's home shard.
+func (s *Sharded) RequestServer(customer, typeName string) (nestedvm.ID, error) {
+	return s.shardFor(customer).RequestServer(customer, typeName)
+}
+
+// RequestServerWithOptions provisions with options on the home shard.
+func (s *Sharded) RequestServerWithOptions(opts ServerOptions) (nestedvm.ID, error) {
+	return s.shardFor(opts.Customer).RequestServerWithOptions(opts)
+}
+
+// ReleaseServer releases a VM; the id is searched across shards since ids
+// are shard-local.
+func (s *Sharded) ReleaseServer(id nestedvm.ID) error {
+	for _, c := range s.shards {
+		if _, err := c.DescribeVM(id); err == nil {
+			return c.ReleaseServer(id)
+		}
+	}
+	return fmt.Errorf("core: unknown VM %s", id)
+}
+
+// DescribeVM finds a VM on whichever shard holds it.
+func (s *Sharded) DescribeVM(id nestedvm.ID) (VMInfo, error) {
+	for _, c := range s.shards {
+		if info, err := c.DescribeVM(id); err == nil {
+			return info, nil
+		}
+	}
+	return VMInfo{}, fmt.Errorf("core: unknown VM %s", id)
+}
+
+// Report aggregates all shards' accounting into one fleet view.
+func (s *Sharded) Report() Report {
+	var agg Report
+	var weightedDownNum, totalService float64
+	for _, c := range s.shards {
+		r := c.Report()
+		if r.At > agg.At {
+			agg.At = r.At
+		}
+		agg.VMHours += r.VMHours
+		agg.HostCost += r.HostCost
+		agg.BackupCost += r.BackupCost
+		agg.SpareCost += r.SpareCost
+		agg.TotalCost += r.TotalCost
+		agg.TotalDown += r.TotalDown
+		agg.TotalDegraded += r.TotalDegraded
+		agg.StormSizes = append(agg.StormSizes, r.StormSizes...)
+		if r.MaxStorm > agg.MaxStorm {
+			agg.MaxStorm = r.MaxStorm
+		}
+		agg.BackupServers += r.BackupServers
+		if r.BackupVMsMax > agg.BackupVMsMax {
+			agg.BackupVMsMax = r.BackupVMsMax
+		}
+		if r.MaxDownSpell > agg.MaxDownSpell {
+			agg.MaxDownSpell = r.MaxDownSpell
+		}
+		agg.TCPBreaks += r.TCPBreaks
+		agg.Stats.VMsCreated += r.Stats.VMsCreated
+		agg.Stats.VMsReleased += r.Stats.VMsReleased
+		agg.Stats.Migrations += r.Stats.Migrations
+		agg.Stats.Revocations += r.Stats.Revocations
+		agg.Stats.ProactiveMigrations += r.Stats.ProactiveMigrations
+		agg.Stats.ReturnMigrations += r.Stats.ReturnMigrations
+		agg.Stats.StagingMigrations += r.Stats.StagingMigrations
+		agg.Stats.VMsLostMemoryState += r.Stats.VMsLostMemoryState
+		agg.Stats.HostsAcquired += r.Stats.HostsAcquired
+		agg.Stats.SlicedHosts += r.Stats.SlicedHosts
+		agg.Stats.DestinationFailures += r.Stats.DestinationFailures
+		agg.Stats.PredictiveMigrations += r.Stats.PredictiveMigrations
+		agg.Stats.PredictiveMisses += r.Stats.PredictiveMisses
+		weightedDownNum += (1 - r.Availability) * r.VMHours
+		totalService += r.VMHours
+	}
+	if totalService > 0 {
+		agg.Availability = 1 - weightedDownNum/totalService
+		agg.DegradedFraction = agg.TotalDegraded.Hours() / totalService
+		agg.CostPerVMHour = cloud.USD(float64(agg.TotalCost) / totalService)
+	} else {
+		agg.Availability = 1
+	}
+	return agg
+}

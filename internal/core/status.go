@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// StatusText renders a human-readable snapshot of the whole derivative
+// cloud — the "spotctl status" / operator view: pools, nested VMs, backup
+// servers, spares and the headline accounting.
+func (c *Controller) StatusText() string {
+	var b strings.Builder
+	now := c.sched.Now()
+	fmt.Fprintf(&b, "SpotCheck status at t=%v (mechanism: %v)\n\n", now, c.cfg.Mechanism)
+
+	pools := analysis.NewTable("Server pools", "Pool", "Bid($/hr)", "Hosts", "VMs", "Free slots", "Revocations")
+	for _, p := range c.Pools() {
+		if p.Hosts == 0 && p.Revocations == 0 {
+			continue
+		}
+		bid := "-"
+		if p.Key.Market.String() == "spot" {
+			bid = fmt.Sprintf("%.4f", float64(p.Bid))
+		}
+		pools.AddRow(p.Key.String(), bid, p.Hosts, p.VMs, p.FreeSlots, p.Revocations)
+	}
+	b.WriteString(pools.String())
+	b.WriteByte('\n')
+
+	vms := analysis.NewTable("Nested VMs", "ID", "Customer", "Phase", "Cond", "Market", "Host", "Migr", "Avail(%)")
+	for _, info := range c.ListVMs() {
+		if info.Phase == "released" {
+			continue
+		}
+		vms.AddRow(string(info.ID), info.Customer, info.Phase, info.Condition,
+			info.Market, string(info.Host), info.Migrations, 100*info.Availability)
+	}
+	b.WriteString(vms.String())
+	b.WriteByte('\n')
+
+	backups := analysis.NewTable("Backup servers", "ID", "VMs", "Ingest util", "Restoring")
+	for _, srv := range c.backups.Servers() {
+		backups.AddRow(srv.ID(), srv.VMs(), srv.IngestUtilization(), srv.Restoring())
+	}
+	b.WriteString(backups.String())
+	if n := c.SparesReady(); n > 0 || c.sparePending > 0 {
+		fmt.Fprintf(&b, "\nhot spares: %d ready, %d launching\n", n, c.sparePending)
+	}
+
+	rep := c.Report()
+	fmt.Fprintf(&b, "\ncost $%.2f total ($%.4f/VM-hour) | availability %.4f%% | degraded %.4f%% | storms max %d | TCP breaks %d\n",
+		float64(rep.TotalCost), float64(rep.CostPerVMHour),
+		100*rep.Availability, 100*rep.DegradedFraction, rep.MaxStorm, rep.TCPBreaks)
+	return b.String()
+}

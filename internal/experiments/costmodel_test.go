@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+func bidCurveTrace(t *testing.T) *spotmarket.Trace {
+	t.Helper()
+	cfg := spotmarket.DefaultConfig(0.07, spotmarket.VolatilityMedium)
+	tr, err := spotmarket.Generate(cfg, 120*simkit.Day, newRand(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBidCurveShape(t *testing.T) {
+	tr := bidCurveTrace(t)
+	points := BidCurve(tr, 0.07,
+		[]float64{0.08, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.2, 1.5, 2.0}, 23*simkit.Second)
+	if len(points) == 0 {
+		t.Fatal("empty curve")
+	}
+	for i := 1; i < len(points); i++ {
+		// Revocation *probability* is non-increasing in the bid. (The
+		// excursion *count* need not be: a higher bid can split one long
+		// excursion into several shorter ones.)
+		if points[i].P > points[i-1].P+1e-12 {
+			t.Fatalf("P not monotone: %+v -> %+v", points[i-1], points[i])
+		}
+	}
+	// Expected cost never exceeds on-demand (worst case: always revoked,
+	// always on-demand) and at the on-demand bid sits at a deep discount.
+	for _, p := range points {
+		if p.ExpectedCost <= 0 || p.ExpectedCost > 0.07+1e-12 {
+			t.Errorf("ratio %.2f: E(cost) = %v, want in (0, od]", p.Ratio, p.ExpectedCost)
+		}
+		if p.UnavailabilityPct < 0 || p.UnavailabilityPct > 5 {
+			t.Errorf("ratio %.2f: unavailability %.3f%% implausible", p.Ratio, p.UnavailabilityPct)
+		}
+	}
+	for _, p := range points {
+		if p.Ratio == 1.0 && p.ExpectedCost > 0.07/3 {
+			t.Errorf("E(cost) at the on-demand bid = %v, want a deep discount", p.ExpectedCost)
+		}
+	}
+	// Bidding below the normal-regime price (base ratio ~0.15 of OD)
+	// forfeits most availability; bidding 2x od forfeits nearly none.
+	if points[0].P < 0.2 {
+		t.Errorf("P at ratio %.2f = %.3f, want large", points[0].Ratio, points[0].P)
+	}
+	last := points[len(points)-1]
+	if last.P > 0.05 {
+		t.Errorf("P at ratio %.1f = %.3f, want small", last.Ratio, last.P)
+	}
+}
+
+// The paper: the knee of the availability-bid curve sits slightly below
+// the on-demand price, so bidding the on-demand price approximates the
+// optimal bid.
+func TestKneeNearOnDemand(t *testing.T) {
+	tr := bidCurveTrace(t)
+	ratios := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.5, 2.0}
+	points := BidCurve(tr, 0.07, ratios, 23*simkit.Second)
+	knee, err := Knee(points, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee.Ratio > 1.0 {
+		t.Errorf("knee at ratio %.2f, paper says at or below the on-demand price", knee.Ratio)
+	}
+	if knee.Ratio < 0.3 {
+		t.Errorf("knee at ratio %.2f is implausibly low", knee.Ratio)
+	}
+	if _, err := Knee(nil, 0.01); err == nil {
+		t.Error("empty curve accepted")
+	}
+}
+
+func TestBidCurveExpectedCostConsistency(t *testing.T) {
+	// Against a flat trace, E(c) = spot price for any bid above it.
+	tr, err := spotmarket.NewTrace([]spotmarket.Point{{T: 0, Price: 0.01}}, 100*simkit.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := BidCurve(tr, 0.07, []float64{0.5, 1.0}, 23*simkit.Second)
+	for _, p := range points {
+		if math.Abs(p.ExpectedCost-0.01) > 1e-9 {
+			t.Errorf("flat market E(cost) = %v, want 0.01", p.ExpectedCost)
+		}
+		if p.P != 0 || p.RevocationsPerDay != 0 || p.UnavailabilityPct != 0 {
+			t.Errorf("flat market should never revoke: %+v", p)
+		}
+	}
+	// A bid below the flat price is always revoked: pure on-demand cost.
+	below := BidCurve(tr, 0.07, []float64{0.05}, 23*simkit.Second)
+	if math.Abs(below[0].ExpectedCost-0.07) > 1e-9 || below[0].P != 1 {
+		t.Errorf("under-bid should cost od: %+v", below[0])
+	}
+}
+
+func TestBidCurveTableRendering(t *testing.T) {
+	tr := bidCurveTrace(t)
+	points := BidCurve(tr, 0.07, []float64{0.5, 1.0}, 23*simkit.Second)
+	out := BidCurveTable("bid curve", points).String()
+	if !strings.Contains(out, "bid/od") || !strings.Contains(out, "E(cost)") {
+		t.Errorf("table missing headers:\n%s", out)
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/migration"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+	"repro/internal/workload"
+)
+
+// PolicyFactory constructs a fresh (stateful) placement policy per run.
+type PolicyFactory struct {
+	Name string
+	New  func() core.PlacementPolicy
+}
+
+// NamedPolicyFactories returns the five Table 2 policies.
+func NamedPolicyFactories() []PolicyFactory {
+	return []PolicyFactory{
+		{Name: "1P-M", New: core.Policy1PM},
+		{Name: "2P-ML", New: core.Policy2PML},
+		{Name: "4P-ED", New: core.Policy4PED},
+		{Name: "4P-COST", New: core.Policy4PCOST},
+		{Name: "4P-ST", New: core.Policy4PST},
+	}
+}
+
+// FigureMechanisms returns the four mechanisms Figures 10-12 compare.
+func FigureMechanisms() []migration.Mechanism {
+	return []migration.Mechanism{
+		migration.XenLive,
+		migration.UnoptimizedFull,
+		migration.SpotCheckFull,
+		migration.SpotCheckLazy,
+	}
+}
+
+// PolicyRunConfig parameterises one six-month controller simulation.
+type PolicyRunConfig struct {
+	Policy    PolicyFactory
+	Mechanism migration.Mechanism
+	// VMs is the fleet size (defaults to 40, a full backup server).
+	VMs int
+	// Horizon defaults to SixMonths.
+	Horizon simkit.Time
+	Seed    int64
+	// MonitorInterval defaults to 10 minutes (coarser than the
+	// controller's default to keep six-month runs fast).
+	MonitorInterval simkit.Time
+
+	// The remaining knobs support the ablation studies; zero values give
+	// the paper's defaults.
+	Traces        spotmarket.Set         // custom price traces
+	Bidding       core.BiddingPolicy     // bid=OD vs k×OD
+	Destination   core.DestinationPolicy // lazy OD / hot spares / staging
+	HotSpares     int
+	Stateless     bool // request every VM as stateless
+	Predictive    core.PredictiveConfig
+	WarningWindow simkit.Time // shrink the platform's revocation warning
+	// BillingIncrement enables 2015-era period billing on the platform.
+	BillingIncrement simkit.Time
+	// Workload selects the application profile (default workload.TPCW()).
+	Workload workload.Profile
+}
+
+// PolicyRunResult carries one simulation's outcome.
+type PolicyRunResult struct {
+	Policy    string
+	Mechanism migration.Mechanism
+	Report    core.Report
+	VMs       int
+	Horizon   simkit.Time
+}
+
+// CostPerHour is the Figure 10 metric.
+func (r PolicyRunResult) CostPerHour() float64 { return float64(r.Report.CostPerVMHour) }
+
+// UnavailabilityPct is the Figure 11 metric.
+func (r PolicyRunResult) UnavailabilityPct() float64 { return 100 * (1 - r.Report.Availability) }
+
+// DegradationPct is the Figure 12 metric.
+func (r PolicyRunResult) DegradationPct() float64 { return 100 * r.Report.DegradedFraction }
+
+// RunPolicy executes one policy × mechanism simulation.
+func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
+	if cfg.VMs == 0 {
+		cfg.VMs = 40
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = SixMonths
+	}
+	if cfg.MonitorInterval == 0 {
+		cfg.MonitorInterval = 10 * simkit.Minute
+	}
+	if cfg.Policy.New == nil {
+		cfg.Policy = NamedPolicyFactories()[0]
+	}
+	traces := cfg.Traces
+	if traces == nil {
+		var err error
+		traces, err = EvalTraces(cfg.Horizon, cfg.Seed)
+		if err != nil {
+			return PolicyRunResult{}, err
+		}
+	}
+	sched := simkit.NewScheduler()
+	plat, err := cloudsim.New(sched, cloudsim.Config{
+		Traces:           traces,
+		Seed:             cfg.Seed,
+		WarningWindow:    cfg.WarningWindow,
+		BillingIncrement: cfg.BillingIncrement,
+	})
+	if err != nil {
+		return PolicyRunResult{}, err
+	}
+	ctrl, err := core.New(core.Config{
+		Scheduler:       sched,
+		Provider:        plat,
+		Mechanism:       cfg.Mechanism,
+		Placement:       cfg.Policy.New(),
+		Bidding:         cfg.Bidding,
+		Destination:     cfg.Destination,
+		HotSpares:       cfg.HotSpares,
+		Predictive:      cfg.Predictive,
+		MonitorInterval: cfg.MonitorInterval,
+		Workload:        cfg.Workload,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return PolicyRunResult{}, err
+	}
+	for i := 0; i < cfg.VMs; i++ {
+		if _, err := ctrl.RequestServerWithOptions(core.ServerOptions{
+			Customer:  fmt.Sprintf("customer-%d", i%4),
+			Type:      cloud.M3Medium,
+			Stateless: cfg.Stateless,
+		}); err != nil {
+			return PolicyRunResult{}, err
+		}
+	}
+	sched.RunUntil(cfg.Horizon)
+	return PolicyRunResult{
+		Policy:    cfg.Policy.Name,
+		Mechanism: cfg.Mechanism,
+		Report:    ctrl.Report(),
+		VMs:       cfg.VMs,
+		Horizon:   cfg.Horizon,
+	}, nil
+}
+
+// PolicyMatrix runs every named policy against every figure mechanism:
+// the 20 simulations behind Figures 10, 11 and 12.
+func PolicyMatrix(vms int, horizon simkit.Time, seed int64) ([][]PolicyRunResult, error) {
+	policies := NamedPolicyFactories()
+	mechs := FigureMechanisms()
+	out := make([][]PolicyRunResult, len(policies))
+	for i, pol := range policies {
+		out[i] = make([]PolicyRunResult, len(mechs))
+		for j, mech := range mechs {
+			res, err := RunPolicy(PolicyRunConfig{
+				Policy:    pol,
+				Mechanism: mech,
+				VMs:       vms,
+				Horizon:   horizon,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", pol.Name, mech, err)
+			}
+			out[i][j] = res
+		}
+	}
+	return out, nil
+}
+
+// matrixBars renders a metric of the policy × mechanism matrix.
+func matrixBars(title string, matrix [][]PolicyRunResult, metric func(PolicyRunResult) float64) analysis.Bars {
+	bars := analysis.Bars{Title: title}
+	for _, mech := range FigureMechanisms() {
+		bars.Labels = append(bars.Labels, mech.String())
+	}
+	for _, row := range matrix {
+		if len(row) == 0 {
+			continue
+		}
+		bars.Groups = append(bars.Groups, row[0].Policy)
+		vals := make([]float64, len(row))
+		for j, res := range row {
+			vals[j] = metric(res)
+		}
+		bars.Values = append(bars.Values, vals)
+	}
+	return bars
+}
+
+// Fig10Bars renders Figure 10 (average cost per VM-hour, $).
+func Fig10Bars(matrix [][]PolicyRunResult) analysis.Bars {
+	return matrixBars("Fig 10: average cost per VM-hour ($)", matrix, PolicyRunResult.CostPerHour)
+}
+
+// Fig11Bars renders Figure 11 (unavailability, %).
+func Fig11Bars(matrix [][]PolicyRunResult) analysis.Bars {
+	return matrixBars("Fig 11: unavailability (%)", matrix, PolicyRunResult.UnavailabilityPct)
+}
+
+// Fig12Bars renders Figure 12 (performance degradation, %).
+func Fig12Bars(matrix [][]PolicyRunResult) analysis.Bars {
+	return matrixBars("Fig 12: performance degradation (%)", matrix, PolicyRunResult.DegradationPct)
+}
+
+// Table3Result is one pool-count row of Table 3.
+type Table3Result struct {
+	Policy string
+	Probs  []float64 // P(storm >= N/4), N/2, 3N/4, N per hour buckets
+}
+
+// Table3Fractions are the paper's storm-size buckets.
+func Table3Fractions() []float64 { return []float64{0.25, 0.5, 0.75, 1.0} }
+
+// Table3 runs the 1-pool, 2-pool and 4-pool policies under the full system
+// and reports the probability of concurrent revocation storms by size.
+func Table3(vms int, horizon simkit.Time, seed int64) ([]Table3Result, error) {
+	policies := []PolicyFactory{
+		{Name: "1-Pool", New: core.Policy1PM},
+		{Name: "2-Pool", New: core.Policy2PML},
+		{Name: "4-Pool", New: core.Policy4PED},
+	}
+	var out []Table3Result
+	for _, pol := range policies {
+		res, err := RunPolicy(PolicyRunConfig{
+			Policy:    pol,
+			Mechanism: migration.SpotCheckLazy,
+			VMs:       vms,
+			Horizon:   horizon,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		probs := core.StormTable(res.Report.StormSizes, vms, Table3Fractions(), horizon.Hours())
+		out = append(out, Table3Result{Policy: pol.Name, Probs: probs})
+	}
+	return out, nil
+}
+
+// Table3Render renders Table 3.
+func Table3Render(rows []Table3Result, vms int) *analysis.Table {
+	t := analysis.NewTable(
+		fmt.Sprintf("Table 3: probability of max concurrent revocations (N=%d VMs, per hour)", vms),
+		"Pools", "N/4", "N/2", "3N/4", "N")
+	for _, r := range rows {
+		t.AddRow(r.Policy, r.Probs[0], r.Probs[1], r.Probs[2], r.Probs[3])
+	}
+	return t
+}
+
+// Headline summarises the paper's abstract-level claims from the 1P-M
+// SpotCheckLazy run: cost savings vs on-demand and availability.
+type Headline struct {
+	CostPerVMHour   float64
+	OnDemandPerHour float64
+	Savings         float64
+	Availability    float64
+	Migrations      int
+	VMsLost         int
+}
+
+// RunHeadline computes the headline comparison.
+func RunHeadline(vms int, horizon simkit.Time, seed int64) (Headline, error) {
+	res, err := RunPolicy(PolicyRunConfig{
+		Policy:    PolicyFactory{Name: "1P-M", New: core.Policy1PM},
+		Mechanism: migration.SpotCheckLazy,
+		VMs:       vms,
+		Horizon:   horizon,
+		Seed:      seed,
+	})
+	if err != nil {
+		return Headline{}, err
+	}
+	od := 0.07 // m3.medium on-demand $/hr
+	return Headline{
+		CostPerVMHour:   res.CostPerHour(),
+		OnDemandPerHour: od,
+		Savings:         od / res.CostPerHour(),
+		Availability:    res.Report.Availability,
+		Migrations:      res.Report.Stats.Migrations,
+		VMsLost:         res.Report.Stats.VMsLostMemoryState,
+	}, nil
+}

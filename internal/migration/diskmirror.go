@@ -1,0 +1,78 @@
+package migration
+
+import (
+	"fmt"
+
+	"repro/internal/simkit"
+)
+
+// DiskMirror models §5's discussion of local storage: the prototype
+// requires network-attached volumes, but "EC2's warning period permits
+// asynchronous mirroring of local disk state to the backup server, e.g.,
+// using DRBD, without significant performance degradation". This model
+// quantifies that: an async mirror ships local writes to the backup with
+// a bounded backlog; on a revocation warning the remaining backlog must
+// sync before the deadline.
+
+// DiskMirrorSpec parameterises an asynchronous local-disk mirror.
+type DiskMirrorSpec struct {
+	// WriteMBs is the workload's sustained local write rate.
+	WriteMBs float64
+	// MirrorBandwidthMBs is the link to the backup server's disk.
+	MirrorBandwidthMBs float64
+	// FlushInterval is how often the mirror drains its backlog; the
+	// steady-state backlog is at most WriteMBs × FlushInterval.
+	FlushInterval simkit.Time
+	// Warning is the revocation window available for the final sync.
+	Warning simkit.Time
+}
+
+// DiskMirrorResult reports the mirror's behaviour.
+type DiskMirrorResult struct {
+	// SteadyBacklogMB is the worst-case unsynced local data during normal
+	// operation.
+	SteadyBacklogMB float64
+	// FinalSyncTime is how long the final drain takes after a warning
+	// (the disk counterpart of the memory flush).
+	FinalSyncTime simkit.Time
+	// Feasible reports whether the final sync fits in the warning window,
+	// i.e. whether local disks can be used safely at all.
+	Feasible bool
+	// UtilizationPct is the mirror link utilization during normal
+	// operation; near or above 100 means the mirror cannot keep up.
+	UtilizationPct float64
+}
+
+// SimulateDiskMirror evaluates the mirror model.
+func SimulateDiskMirror(s DiskMirrorSpec) (DiskMirrorResult, error) {
+	switch {
+	case s.WriteMBs < 0:
+		return DiskMirrorResult{}, fmt.Errorf("migration: negative write rate %v", s.WriteMBs)
+	case s.MirrorBandwidthMBs <= 0:
+		return DiskMirrorResult{}, fmt.Errorf("migration: mirror bandwidth must be positive, got %v", s.MirrorBandwidthMBs)
+	case s.FlushInterval <= 0:
+		return DiskMirrorResult{}, fmt.Errorf("migration: flush interval must be positive")
+	case s.Warning <= 0:
+		return DiskMirrorResult{}, fmt.Errorf("migration: warning window must be positive")
+	}
+	util := 100 * s.WriteMBs / s.MirrorBandwidthMBs
+	if s.WriteMBs >= s.MirrorBandwidthMBs {
+		// The mirror falls behind without bound: local disks are unsafe.
+		return DiskMirrorResult{
+			SteadyBacklogMB: -1,
+			Feasible:        false,
+			UtilizationPct:  util,
+		}, nil
+	}
+	backlog := s.WriteMBs * s.FlushInterval.Seconds()
+	// During the final sync the workload keeps writing; the backlog drains
+	// at (bandwidth - write rate).
+	syncSecs := backlog / (s.MirrorBandwidthMBs - s.WriteMBs)
+	res := DiskMirrorResult{
+		SteadyBacklogMB: backlog,
+		FinalSyncTime:   simkit.Seconds(syncSecs),
+		UtilizationPct:  util,
+	}
+	res.Feasible = res.FinalSyncTime <= s.Warning
+	return res, nil
+}

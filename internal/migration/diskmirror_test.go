@@ -1,0 +1,114 @@
+package migration
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simkit"
+)
+
+// The paper's §5 claim: disk speeds being similar in magnitude, the
+// 120 s warning permits asynchronous local-disk mirroring "without
+// significant performance degradation".
+func TestDiskMirrorTypicalWorkloadFeasible(t *testing.T) {
+	res, err := SimulateDiskMirror(DiskMirrorSpec{
+		WriteMBs:           10, // a write-heavy interactive app
+		MirrorBandwidthMBs: 80, // backup disk/network
+		FlushInterval:      30 * simkit.Second,
+		Warning:            120 * simkit.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("typical workload infeasible: %+v", res)
+	}
+	if res.SteadyBacklogMB != 300 {
+		t.Errorf("backlog = %v MB, want 300 (10 MB/s × 30 s)", res.SteadyBacklogMB)
+	}
+	// 300 MB drains at 70 MB/s effective: ~4.3 s, far inside the window.
+	if res.FinalSyncTime > 10*simkit.Second {
+		t.Errorf("final sync = %v, want a few seconds", res.FinalSyncTime)
+	}
+	if math.Abs(res.UtilizationPct-12.5) > 1e-9 {
+		t.Errorf("utilization = %v%%, want 12.5", res.UtilizationPct)
+	}
+}
+
+func TestDiskMirrorOverloadedLinkInfeasible(t *testing.T) {
+	res, err := SimulateDiskMirror(DiskMirrorSpec{
+		WriteMBs:           100,
+		MirrorBandwidthMBs: 80,
+		FlushInterval:      30 * simkit.Second,
+		Warning:            120 * simkit.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("writes above mirror bandwidth cannot be safe")
+	}
+	if res.SteadyBacklogMB != -1 {
+		t.Error("unbounded backlog should be flagged")
+	}
+	if res.UtilizationPct <= 100 {
+		t.Errorf("utilization = %v%%, want > 100", res.UtilizationPct)
+	}
+}
+
+func TestDiskMirrorTightWindow(t *testing.T) {
+	// Just-under-capacity writes with a long flush interval: backlog large
+	// enough that the final sync blows the warning window.
+	res, err := SimulateDiskMirror(DiskMirrorSpec{
+		WriteMBs:           70,
+		MirrorBandwidthMBs: 80,
+		FlushInterval:      2 * simkit.Minute,
+		Warning:            120 * simkit.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8400 MB backlog draining at 10 MB/s = 840 s >> 120 s.
+	if res.Feasible {
+		t.Errorf("final sync %v should not fit the window", res.FinalSyncTime)
+	}
+}
+
+func TestDiskMirrorValidation(t *testing.T) {
+	for _, bad := range []DiskMirrorSpec{
+		{WriteMBs: -1, MirrorBandwidthMBs: 10, FlushInterval: simkit.Second, Warning: simkit.Minute},
+		{WriteMBs: 1, MirrorBandwidthMBs: 0, FlushInterval: simkit.Second, Warning: simkit.Minute},
+		{WriteMBs: 1, MirrorBandwidthMBs: 10, FlushInterval: 0, Warning: simkit.Minute},
+		{WriteMBs: 1, MirrorBandwidthMBs: 10, FlushInterval: simkit.Second, Warning: 0},
+	} {
+		if _, err := SimulateDiskMirror(bad); err == nil {
+			t.Errorf("invalid spec accepted: %+v", bad)
+		}
+	}
+}
+
+// Property: when feasible, the final sync always fits the window used in
+// the feasibility decision, and backlog scales linearly with the interval.
+func TestDiskMirrorProperty(t *testing.T) {
+	f := func(writeRaw, bwRaw uint8, ivlRaw uint16) bool {
+		write := float64(writeRaw%50) + 1
+		bw := write + float64(bwRaw%100) + 1 // strictly above write
+		ivl := simkit.Time(int(ivlRaw%120)+1) * simkit.Second
+		res, err := SimulateDiskMirror(DiskMirrorSpec{
+			WriteMBs: write, MirrorBandwidthMBs: bw,
+			FlushInterval: ivl, Warning: 120 * simkit.Second,
+		})
+		if err != nil {
+			return false
+		}
+		wantBacklog := write * ivl.Seconds()
+		if math.Abs(res.SteadyBacklogMB-wantBacklog) > 1e-6 {
+			return false
+		}
+		return res.Feasible == (res.FinalSyncTime <= 120*simkit.Second)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

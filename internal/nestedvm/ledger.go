@@ -1,0 +1,196 @@
+// Package nestedvm models the customer-visible unit of SpotCheck: a nested
+// VM running under the nested hypervisor on a rented native server. It
+// tracks each VM's memory behaviour (which drives migration cost) and a
+// per-VM availability ledger (which drives the paper's availability and
+// performance-degradation results).
+package nestedvm
+
+import (
+	"fmt"
+
+	"repro/internal/simkit"
+)
+
+// Condition is the customer-visible service level of a nested VM at an
+// instant: fully up, up-but-degraded (continuous checkpointing overload or
+// lazy-restore page faulting), or down (paused/stop-and-copy/unhosted).
+type Condition int
+
+const (
+	// CondNormal means full performance.
+	CondNormal Condition = iota
+	// CondDegraded means running with reduced performance (Figures 9, 12).
+	CondDegraded
+	// CondDown means unavailable (Figure 11's unavailability).
+	CondDown
+)
+
+func (c Condition) String() string {
+	switch c {
+	case CondNormal:
+		return "normal"
+	case CondDegraded:
+		return "degraded"
+	case CondDown:
+		return "down"
+	default:
+		return fmt.Sprintf("condition(%d)", int(c))
+	}
+}
+
+// Ledger accumulates a nested VM's downtime and degraded time. It is a
+// three-state interval accountant: call Set at every condition transition
+// and Close (or Snapshot) to flush the open interval.
+type Ledger struct {
+	started  bool
+	cond     Condition
+	since    simkit.Time
+	down     simkit.Time
+	degraded simkit.Time
+	// transition counters for reports
+	downSpells     int
+	degradedSpells int
+	// per-spell durations of completed down intervals; the paper's TCP
+	// claim (§5: "this ~23 second downtime is not long enough to break
+	// TCP connections") is checked against these.
+	downSpellDurations []simkit.Time
+	spellStart         simkit.Time
+}
+
+// Start opens the ledger at time t in CondNormal. Calling Start twice
+// panics: a VM has exactly one service lifetime.
+func (l *Ledger) Start(t simkit.Time) {
+	if l.started {
+		panic("nestedvm: ledger started twice")
+	}
+	l.started = true
+	l.cond = CondNormal
+	l.since = t
+}
+
+// Set transitions the ledger to cond at time t, accumulating the interval
+// spent in the previous condition. Transitions must be non-decreasing in
+// time. Setting the current condition is a no-op.
+func (l *Ledger) Set(cond Condition, t simkit.Time) {
+	if !l.started {
+		panic("nestedvm: ledger not started")
+	}
+	if t < l.since {
+		panic(fmt.Sprintf("nestedvm: ledger transition at %v before %v", t, l.since))
+	}
+	if cond == l.cond {
+		return
+	}
+	if l.cond == CondDown {
+		// A down spell just ended (whatever we transition to).
+		l.downSpellDurations = append(l.downSpellDurations, t-l.spellStart)
+	}
+	l.accumulate(t)
+	l.cond = cond
+	l.since = t
+	switch cond {
+	case CondDown:
+		l.downSpells++
+		l.spellStart = t
+	case CondDegraded:
+		l.degradedSpells++
+	}
+}
+
+func (l *Ledger) accumulate(t simkit.Time) {
+	dt := t - l.since
+	switch l.cond {
+	case CondDown:
+		l.down += dt
+	case CondDegraded:
+		l.degraded += dt
+	}
+}
+
+// Snapshot reports cumulative downtime and degraded time as of t without
+// closing the ledger.
+func (l *Ledger) Snapshot(t simkit.Time) (down, degraded simkit.Time) {
+	if !l.started {
+		return 0, 0
+	}
+	if t < l.since {
+		panic(fmt.Sprintf("nestedvm: snapshot at %v before %v", t, l.since))
+	}
+	down, degraded = l.down, l.degraded
+	dt := t - l.since
+	switch l.cond {
+	case CondDown:
+		down += dt
+	case CondDegraded:
+		degraded += dt
+	}
+	return down, degraded
+}
+
+// Condition reports the current condition.
+func (l *Ledger) Condition() Condition {
+	if !l.started {
+		return CondNormal
+	}
+	return l.cond
+}
+
+// Spells reports how many distinct down and degraded intervals occurred.
+func (l *Ledger) Spells() (downSpells, degradedSpells int) {
+	return l.downSpells, l.degradedSpells
+}
+
+// Availability returns 1 - downtime/(t-start) over [start, t). The paper's
+// availability numbers (e.g. 99.9989%) are exactly this quantity relative
+// to a fully-available native platform.
+func (l *Ledger) Availability(start, t simkit.Time) float64 {
+	total := t - start
+	if total <= 0 {
+		return 1
+	}
+	down, _ := l.Snapshot(t)
+	return 1 - float64(down)/float64(total)
+}
+
+// DegradedFraction returns degraded/(t-start) over [start, t) (Figure 12).
+func (l *Ledger) DegradedFraction(start, t simkit.Time) float64 {
+	total := t - start
+	if total <= 0 {
+		return 0
+	}
+	_, deg := l.Snapshot(t)
+	return float64(deg) / float64(total)
+}
+
+// DownSpells returns the durations of completed down intervals, plus the
+// open one as of t if the VM is currently down.
+func (l *Ledger) DownSpells(t simkit.Time) []simkit.Time {
+	out := append([]simkit.Time(nil), l.downSpellDurations...)
+	if l.started && l.cond == CondDown && t >= l.spellStart {
+		out = append(out, t-l.spellStart)
+	}
+	return out
+}
+
+// MaxDownSpell returns the longest down interval as of t (0 if never down).
+func (l *Ledger) MaxDownSpell(t simkit.Time) simkit.Time {
+	var max simkit.Time
+	for _, d := range l.DownSpells(t) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SpellsExceeding counts down spells longer than threshold as of t — e.g.
+// a 60 s TCP timeout: any spell past it would break customers' connections.
+func (l *Ledger) SpellsExceeding(threshold, t simkit.Time) int {
+	n := 0
+	for _, d := range l.DownSpells(t) {
+		if d > threshold {
+			n++
+		}
+	}
+	return n
+}

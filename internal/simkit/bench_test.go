@@ -1,0 +1,50 @@
+package simkit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSchedulerThroughput measures raw event dispatch: the entire
+// evaluation rides on this loop.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(i%1000)*Millisecond, "e", func() {})
+		if i%1024 == 1023 {
+			s.Run(0)
+		}
+	}
+	s.Run(0)
+}
+
+// BenchmarkSchedulerMixed measures a realistic mix: scheduling, firing and
+// cancellation with events re-scheduling each other.
+func BenchmarkSchedulerMixed(b *testing.B) {
+	s := NewScheduler()
+	r := rand.New(rand.NewSource(1))
+	var pending []*Event
+	for i := 0; i < b.N; i++ {
+		e := s.After(Time(r.Intn(10000))*Millisecond, "m", func() {
+			s.After(Millisecond, "child", func() {})
+		})
+		pending = append(pending, e)
+		if len(pending) >= 256 {
+			for _, p := range pending[:128] {
+				s.Cancel(p)
+			}
+			pending = pending[:0]
+			s.RunUntil(s.Now() + Second)
+		}
+	}
+	s.Run(0)
+}
+
+// BenchmarkLognormalSample measures the latency-sampling hot path.
+func BenchmarkLognormalSample(b *testing.B) {
+	d := Lognormal{Mu: 4, Sigma: 0.3}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(r)
+	}
+}

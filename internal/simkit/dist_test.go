@@ -1,0 +1,157 @@
+package simkit
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sampleN(d Dist, r *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{V: 42}
+	r := rand.New(rand.NewSource(1))
+	if d.Sample(r) != 42 || d.Mean() != 42 {
+		t.Error("Constant distribution broken")
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 6}
+	r := rand.New(rand.NewSource(1))
+	xs := sampleN(d, r, 20000)
+	for _, x := range xs {
+		if x < 2 || x >= 6 {
+			t.Fatalf("uniform sample %v out of [2,6)", x)
+		}
+	}
+	if m := mean(xs); math.Abs(m-4) > 0.05 {
+		t.Errorf("uniform mean = %v, want ~4", m)
+	}
+	if d.Mean() != 4 {
+		t.Error("Mean() wrong")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanVal: 3}
+	r := rand.New(rand.NewSource(2))
+	if m := mean(sampleN(d, r, 50000)); math.Abs(m-3) > 0.1 {
+		t.Errorf("exponential mean = %v, want ~3", m)
+	}
+	if d.Mean() != 3 {
+		t.Error("Mean() wrong")
+	}
+}
+
+func TestLognormalFromMedianMean(t *testing.T) {
+	// Table 1 start-spot row: median 227s, mean 224 would be invalid
+	// (mean<median); use the start on-demand row: median 61, mean 62.
+	d, err := LognormalFromMedianMean(61, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	xs := sampleN(d, r, 100000)
+	if m := median(xs); math.Abs(m-61) > 1.5 {
+		t.Errorf("median = %v, want ~61", m)
+	}
+	if m := mean(xs); math.Abs(m-62) > 1.5 {
+		t.Errorf("mean = %v, want ~62", m)
+	}
+}
+
+func TestLognormalFromMedianMeanErrors(t *testing.T) {
+	if _, err := LognormalFromMedianMean(-1, 5); err == nil {
+		t.Error("negative median accepted")
+	}
+	if _, err := LognormalFromMedianMean(5, 0); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := LognormalFromMedianMean(10, 5); err == nil {
+		t.Error("mean below median accepted")
+	}
+}
+
+func TestParetoTailAndMean(t *testing.T) {
+	d := Pareto{Scale: 1, Alpha: 2}
+	r := rand.New(rand.NewSource(4))
+	xs := sampleN(d, r, 100000)
+	for _, x := range xs {
+		if x < 1 {
+			t.Fatalf("pareto sample %v below scale", x)
+		}
+	}
+	// Mean = alpha*scale/(alpha-1) = 2.
+	if m := mean(xs); math.Abs(m-2) > 0.15 {
+		t.Errorf("pareto mean = %v, want ~2", m)
+	}
+	if d.Mean() != 2 {
+		t.Error("Mean() wrong")
+	}
+	if !math.IsInf(Pareto{Scale: 1, Alpha: 1}.Mean(), 1) {
+		t.Error("alpha<=1 should have infinite mean")
+	}
+}
+
+func TestClamped(t *testing.T) {
+	d := Clamped{Inner: Constant{V: 100}, Lo: 0, Hi: 10}
+	r := rand.New(rand.NewSource(5))
+	if v := d.Sample(r); v != 10 {
+		t.Errorf("clamp high: got %v", v)
+	}
+	d2 := Clamped{Inner: Constant{V: -5}, Lo: 0, Hi: 10}
+	if v := d2.Sample(r); v != 0 {
+		t.Errorf("clamp low: got %v", v)
+	}
+	if d.Mean() != 10 || d2.Mean() != 0 {
+		t.Error("clamped Mean() wrong")
+	}
+	d3 := Clamped{Inner: Constant{V: 5}, Lo: 0, Hi: 10}
+	if d3.Mean() != 5 {
+		t.Error("in-range Mean() wrong")
+	}
+}
+
+func TestSampleSecondsNeverNegative(t *testing.T) {
+	d := Constant{V: -3}
+	r := rand.New(rand.NewSource(6))
+	if got := SampleSeconds(d, r); got != 0 {
+		t.Errorf("SampleSeconds clamped to %v, want 0", got)
+	}
+	if got := SampleSeconds(Constant{V: 1.5}, r); got != Seconds(1.5) {
+		t.Errorf("SampleSeconds = %v, want 1.5s", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := Lognormal{Mu: 1, Sigma: 0.5}
+	a := sampleN(d, rand.New(rand.NewSource(7)), 100)
+	b := sampleN(d, rand.New(rand.NewSource(7)), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package simkit
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel pending events (e.g. a forced spot termination that is
+// preempted by the migration finishing early).
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once popped or canceled
+	fn       func()
+	canceled bool
+	label    string
+}
+
+// At reports when the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Label returns the diagnostic label supplied at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use: simulations are deterministic single-goroutine runs.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler positioned at virtual time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired reports the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports the number of events still queued.
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// it would silently reorder causality, which is always a bug in the caller.
+func (s *Scheduler) At(t Time, label string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simkit: scheduling %q at %v, before now %v", label, t, s.now))
+	}
+	if fn == nil {
+		panic("simkit: nil event func")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, label: label}
+	s.seq++
+	heap.Push(&s.pending, e)
+	return e
+}
+
+// After schedules fn at now+d.
+func (s *Scheduler) After(d Time, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simkit: negative delay %v for %q", d, label))
+	}
+	return s.At(s.now+d, label, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a harmless no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.pending, e.index)
+	e.index = -1
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.pending) > 0 {
+		e := heap.Pop(&s.pending).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is exhausted or the next
+// event lies strictly after t, then sets the clock to exactly t.
+func (s *Scheduler) RunUntil(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("simkit: RunUntil(%v) before now %v", t, s.now))
+	}
+	for len(s.pending) > 0 {
+		// Peek: heap root is the earliest event.
+		if s.pending[0].at > t {
+			break
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	s.now = t
+}
+
+// Run executes every pending event (including events scheduled by events)
+// until the queue drains. The limit guards against runaway self-scheduling
+// loops; Run panics if it is exceeded.
+func (s *Scheduler) Run(limit uint64) {
+	var n uint64
+	for s.Step() {
+		n++
+		if limit > 0 && n > limit {
+			panic(fmt.Sprintf("simkit: Run exceeded %d events (self-scheduling loop?)", limit))
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package simkit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3*Second, "c", func() { order = append(order, 3) })
+	s.At(1*Second, "a", func() { order = append(order, 1) })
+	s.At(2*Second, "b", func() { order = append(order, 2) })
+	s.Run(0)
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3*Second {
+		t.Errorf("Now() = %v, want 3s", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAmongSimultaneous(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Second, "tie", func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("simultaneous events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerEventsScheduleEvents(t *testing.T) {
+	s := NewScheduler()
+	var fired int
+	var chain func()
+	chain = func() {
+		fired++
+		if fired < 5 {
+			s.After(Second, "chain", chain)
+		}
+	}
+	s.After(Second, "chain", chain)
+	s.Run(0)
+	if fired != 5 {
+		t.Errorf("fired = %d, want 5", fired)
+	}
+	if s.Now() != 5*Second {
+		t.Errorf("Now() = %v, want 5s", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	var fired bool
+	e := s.At(Second, "x", func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double-cancel is a no-op
+	s.Run(0)
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestSchedulerCancelDuringRun(t *testing.T) {
+	s := NewScheduler()
+	var fired bool
+	var victim *Event
+	s.At(Second, "canceler", func() { s.Cancel(victim) })
+	victim = s.At(2*Second, "victim", func() { fired = true })
+	s.Run(0)
+	if fired {
+		t.Error("event canceled mid-run still fired")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, d := range []Time{Second, 2 * Second, 3 * Second} {
+		d := d
+		s.At(d, "t", func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 2*Second {
+		t.Errorf("Now() = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", s.Pending())
+	}
+	s.RunUntil(10 * Second)
+	if s.Now() != 10*Second {
+		t.Errorf("Now() = %v, want 10s", s.Now())
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(Second, "x", func() {})
+	s.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, "past", func() {})
+}
+
+func TestSchedulerNegativeDelayPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-Second, "neg", func() {})
+}
+
+func TestSchedulerRunLimitPanics(t *testing.T) {
+	s := NewScheduler()
+	var loop func()
+	loop = func() { s.After(Second, "loop", loop) }
+	s.After(Second, "loop", loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway loop did not trip the limit")
+		}
+	}()
+	s.Run(100)
+}
+
+func TestSchedulerFiredCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.After(Time(i)*Second, "n", func() {})
+	}
+	s.Run(0)
+	if s.Fired() != 7 {
+		t.Errorf("Fired() = %d, want 7", s.Fired())
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and the clock ends at the max offset.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		var maxT Time
+		for _, o := range offsets {
+			d := Time(o) * Millisecond
+			if d > maxT {
+				maxT = d
+			}
+			s.At(d, "p", func() { fired = append(fired, s.Now()) })
+		}
+		s.Run(0)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(offsets) == 0 || s.Now() == maxT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if got := Hours(1.5); got != Time(90*time.Minute) {
+		t.Errorf("Hours(1.5) = %v", got)
+	}
+	if got := Seconds(0.5); got != Time(500*time.Millisecond) {
+		t.Errorf("Seconds(0.5) = %v", got)
+	}
+	if (2 * Hour).Hours() != 2 {
+		t.Error("Hours() conversion wrong")
+	}
+	if (3 * Second).Seconds() != 3 {
+		t.Error("Seconds() conversion wrong")
+	}
+	tm := Hour
+	if tm.Add(time.Hour) != 2*Hour {
+		t.Error("Add wrong")
+	}
+	if (2 * Hour).Sub(Hour) != time.Hour {
+		t.Error("Sub wrong")
+	}
+	if !Hour.Before(2*Hour) || Hour.After(2*Hour) {
+		t.Error("Before/After wrong")
+	}
+	if s := (25 * Hour).String(); s != "1d1h0m0s" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (90 * Minute).String(); s != "1h30m0s" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,169 @@
+package spotmarket
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// FitConfig estimates GenConfig parameters from an observed trace — the
+// bridge from a real price archive (ReadAWSPriceHistory) to the synthetic
+// generator: fit a real market once, then generate arbitrarily long,
+// statistically similar traces for long-horizon policy studies.
+//
+// Estimators:
+//
+//   - BaseRatio: median hourly price / on-demand (the normal regime).
+//   - Jitter: stddev of log(price/base) over below-surge samples.
+//   - StepMean: mean spacing of price changes below the surge threshold.
+//   - Spike interval/duration: from excursions above the on-demand price.
+//   - SpikeHeight: Pareto tail index via the Hill (MLE) estimator over
+//     excursion peaks normalised by on-demand.
+//   - Surge interval/duration: from excursions above 2× base but below
+//     on-demand.
+func FitConfig(tr *Trace, onDemand cloud.USD) (GenConfig, error) {
+	if tr == nil || tr.Len() == 0 {
+		return GenConfig{}, fmt.Errorf("spotmarket: empty trace")
+	}
+	if onDemand <= 0 {
+		return GenConfig{}, fmt.Errorf("spotmarket: on-demand price must be positive")
+	}
+	od := float64(onDemand)
+	horizonHours := tr.End().Hours()
+	if horizonHours < 24 {
+		return GenConfig{}, fmt.Errorf("spotmarket: need at least a day of data, got %.1f hours", horizonHours)
+	}
+
+	// Normal regime: hourly samples below half the on-demand price.
+	grid := tr.SampleGrid(simkit.Hour)
+	var normals []float64
+	for _, p := range grid {
+		if p < od/2 {
+			normals = append(normals, p)
+		}
+	}
+	if len(normals) < 12 {
+		return GenConfig{}, fmt.Errorf("spotmarket: trace spends almost no time below on-demand; not a spot market")
+	}
+	sort.Float64s(normals)
+	base := normals[len(normals)/2]
+
+	var jitterSS float64
+	for _, p := range normals {
+		d := math.Log(p / base)
+		jitterSS += d * d
+	}
+	jitter := math.Sqrt(jitterSS / float64(len(normals)))
+	if jitter < 0.01 {
+		jitter = 0.01
+	}
+
+	// Step spacing between changes in the normal regime.
+	pts := tr.Points()
+	var stepSum float64
+	var steps int
+	for i := 1; i < len(pts); i++ {
+		if float64(pts[i].Price) < od/2 && float64(pts[i-1].Price) < od/2 {
+			stepSum += pts[i].T.Sub(pts[i-1].T).Hours()
+			steps++
+		}
+	}
+	stepMean := simkit.Hour
+	if steps > 0 {
+		stepMean = simkit.Hours(stepSum / float64(steps))
+	}
+
+	// Spikes: excursions above the on-demand price.
+	spikes := tr.ExcursionsAbove(onDemand)
+	spikeInterval := simkit.Hours(horizonHours) // none observed: once per horizon
+	spikeDuration := 90 * simkit.Minute
+	alpha := 1.2
+	if n := len(spikes); n > 0 {
+		spikeInterval = simkit.Hours(horizonHours / float64(n))
+		var durSum float64
+		peaks := make([]float64, 0, n)
+		for _, e := range spikes {
+			durSum += e.End.Sub(e.Start).Hours()
+			peaks = append(peaks, float64(e.Peak)/od)
+		}
+		spikeDuration = simkit.Hours(durSum / float64(n))
+		// Hill estimator over peaks with xmin = smallest peak ratio.
+		sort.Float64s(peaks)
+		xmin := peaks[0]
+		if xmin < 1.0001 {
+			xmin = 1.0001
+		}
+		var logSum float64
+		var m int
+		for _, p := range peaks {
+			if p > xmin {
+				logSum += math.Log(p / xmin)
+				m++
+			}
+		}
+		if m > 0 && logSum > 0 {
+			alpha = float64(m) / logSum
+		}
+		if alpha < 0.5 {
+			alpha = 0.5
+		}
+		if alpha > 5 {
+			alpha = 5
+		}
+	}
+
+	// Surges: excursions above 2× base but below on-demand.
+	surgeLevel := cloud.USD(2 * base)
+	if float64(surgeLevel) >= od {
+		surgeLevel = cloud.USD(od * 0.9)
+	}
+	surges := tr.ExcursionsAbove(surgeLevel)
+	surgeInterval := simkit.Hours(horizonHours)
+	surgeDuration := 2 * simkit.Hour
+	if n := len(surges) - len(spikes); n > 0 {
+		surgeInterval = simkit.Hours(horizonHours / float64(n))
+		var durSum float64
+		for _, e := range surges {
+			durSum += e.End.Sub(e.Start).Hours()
+		}
+		surgeDuration = simkit.Hours(durSum / float64(len(surges)))
+	}
+
+	cfg := GenConfig{
+		OnDemand:          onDemand,
+		BaseRatio:         clamp(base/od, 0.02, 0.9),
+		Jitter:            jitter,
+		StepMean:          maxTime(stepMean, simkit.Minute),
+		SurgeMeanInterval: maxTime(surgeInterval, simkit.Hour),
+		SurgeDuration:     maxTime(surgeDuration, simkit.Minute),
+		SurgeRatio:        simkit.Clamped{Inner: simkit.Uniform{Lo: 0.4, Hi: 0.95}, Lo: 0.2, Hi: 0.97},
+		SpikeMeanInterval: maxTime(spikeInterval, simkit.Hour),
+		SpikeDuration:     maxTime(spikeDuration, simkit.Minute),
+		SpikeHeight:       simkit.Clamped{Inner: simkit.Pareto{Scale: 1.1, Alpha: alpha}, Lo: 1.05, Hi: 100},
+		FloorRatio:        clamp(float64(normals[0])/od, 0.001, base/od),
+	}
+	if err := cfg.Validate(); err != nil {
+		return GenConfig{}, fmt.Errorf("spotmarket: fitted config invalid: %w", err)
+	}
+	return cfg, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxTime(a, b simkit.Time) simkit.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+package spotmarket
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// MarketKey identifies one spot market: prices fluctuate independently per
+// (instance type, zone) pair (§4.2, Figures 6c/6d).
+type MarketKey struct {
+	Type string
+	Zone cloud.Zone
+}
+
+func (k MarketKey) String() string { return fmt.Sprintf("%s/%s", k.Type, k.Zone) }
+
+// Set maps markets to their price traces.
+type Set map[MarketKey]*Trace
+
+// Keys returns the market keys in deterministic (sorted) order.
+func (s Set) Keys() []MarketKey {
+	keys := make([]MarketKey, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Type != keys[j].Type {
+			return keys[i].Type < keys[j].Type
+		}
+		return keys[i].Zone < keys[j].Zone
+	})
+	return keys
+}
+
+// GenConfig parameterises the synthetic price process for one market.
+//
+// The process is regime-switching, chosen to reproduce the paper's
+// empirical findings (Figures 1 and 6):
+//
+//   - Normal regime: the price sits far below the on-demand price
+//     (BaseRatio × on-demand), moving by small lognormal jitter at
+//     exponentially-spaced update times. This yields the "spot prices are
+//     extremely low on average" mass of the CDF (Fig. 6a).
+//   - Minor surges: occasional excursions toward (but below) the on-demand
+//     price. These produce the knee of the availability-bid curve slightly
+//     below the on-demand price.
+//   - Major spikes: Poisson-arriving jumps to a Pareto multiple of the
+//     on-demand price (Fig. 1 shows m1.small spiking to >60× on-demand),
+//     holding for an exponential duration. These are the revocation events:
+//     "large price spikes are the norm, with spot prices frequently going
+//     from well below the on-demand price to well above it".
+//
+// Each market is generated from an independent RNG stream, so cross-market
+// correlations are ~0 (Figs. 6c/6d).
+type GenConfig struct {
+	OnDemand cloud.USD // the equivalent on-demand price anchor
+
+	BaseRatio float64     // normal-regime mean price / on-demand (e.g. 0.13)
+	Jitter    float64     // lognormal sigma of normal-regime moves (e.g. 0.15)
+	StepMean  simkit.Time // mean spacing of normal-regime updates (e.g. 1h)
+
+	SurgeMeanInterval simkit.Time // mean time between sub-on-demand surges
+	SurgeDuration     simkit.Time // mean surge duration
+	SurgeRatio        simkit.Dist // surge price / on-demand, support < 1
+
+	SpikeMeanInterval simkit.Time // mean time between above-on-demand spikes
+	SpikeDuration     simkit.Time // mean spike duration
+	SpikeHeight       simkit.Dist // spike price / on-demand, support >= 1
+
+	FloorRatio float64 // minimum price / on-demand (market floor, e.g. 0.05)
+}
+
+// Validate reports configuration errors before generation.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.OnDemand <= 0:
+		return fmt.Errorf("spotmarket: OnDemand must be positive, got %v", c.OnDemand)
+	case c.BaseRatio <= 0 || c.BaseRatio >= 1:
+		return fmt.Errorf("spotmarket: BaseRatio must be in (0,1), got %v", c.BaseRatio)
+	case c.StepMean <= 0:
+		return fmt.Errorf("spotmarket: StepMean must be positive")
+	case c.FloorRatio < 0 || c.FloorRatio > c.BaseRatio:
+		return fmt.Errorf("spotmarket: FloorRatio must be in [0, BaseRatio]")
+	case c.SpikeMeanInterval <= 0 || c.SurgeMeanInterval <= 0:
+		return fmt.Errorf("spotmarket: spike/surge intervals must be positive")
+	case c.SpikeDuration <= 0 || c.SurgeDuration <= 0:
+		return fmt.Errorf("spotmarket: spike/surge durations must be positive")
+	case c.SpikeHeight == nil || c.SurgeRatio == nil:
+		return fmt.Errorf("spotmarket: SpikeHeight and SurgeRatio distributions required")
+	}
+	return nil
+}
+
+// DefaultConfig returns a calibrated config for an instance type.
+// Volatility selects how often the market spikes above the on-demand price:
+// the paper's 6-month window saw the m3.medium market spike only rarely
+// (1P-M reached 99.9989% availability ≈ a handful of revocations) while
+// larger m3 types were busier.
+func DefaultConfig(onDemand cloud.USD, volatility Volatility) GenConfig {
+	cfg := GenConfig{
+		OnDemand:          onDemand,
+		BaseRatio:         0.13,
+		Jitter:            0.12,
+		StepMean:          1 * simkit.Hour,
+		SurgeMeanInterval: 80 * simkit.Hour,
+		SurgeDuration:     2 * simkit.Hour,
+		SurgeRatio:        simkit.Clamped{Inner: simkit.Uniform{Lo: 0.4, Hi: 0.95}, Lo: 0.2, Hi: 0.97},
+		SpikeDuration:     90 * simkit.Minute,
+		SpikeHeight:       simkit.Clamped{Inner: simkit.Pareto{Scale: 1.1, Alpha: 1.15}, Lo: 1.05, Hi: 80},
+		FloorRatio:        0.05,
+	}
+	switch volatility {
+	case VolatilityLow:
+		cfg.SpikeMeanInterval = 550 * simkit.Hour // ~8 spikes in 6 months
+	case VolatilityMedium:
+		cfg.SpikeMeanInterval = 120 * simkit.Hour
+		cfg.BaseRatio = 0.15
+	case VolatilityHigh:
+		cfg.SpikeMeanInterval = 45 * simkit.Hour
+		cfg.BaseRatio = 0.18
+		cfg.SurgeMeanInterval = 40 * simkit.Hour
+	case VolatilityExtreme:
+		cfg.SpikeMeanInterval = 25 * simkit.Hour
+		cfg.BaseRatio = 0.22
+		cfg.SurgeMeanInterval = 25 * simkit.Hour
+	default:
+		panic(fmt.Sprintf("spotmarket: unknown volatility %d", volatility))
+	}
+	return cfg
+}
+
+// Volatility buckets markets by spike frequency.
+type Volatility int
+
+// Volatility levels from calmest to stormiest.
+const (
+	VolatilityLow Volatility = iota
+	VolatilityMedium
+	VolatilityHigh
+	VolatilityExtreme
+)
+
+func (v Volatility) String() string {
+	switch v {
+	case VolatilityLow:
+		return "low"
+	case VolatilityMedium:
+		return "medium"
+	case VolatilityHigh:
+		return "high"
+	case VolatilityExtreme:
+		return "extreme"
+	default:
+		return fmt.Sprintf("volatility(%d)", int(v))
+	}
+}
+
+// Generate produces a synthetic trace over [0, horizon).
+func Generate(cfg GenConfig, horizon simkit.Time, r *rand.Rand) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("spotmarket: horizon must be positive, got %v", horizon)
+	}
+	od := float64(cfg.OnDemand)
+	base := od * cfg.BaseRatio
+	floor := od * cfg.FloorRatio
+
+	// Pre-draw spike and surge episodes as [start, end, price) intervals,
+	// then overlay them on the jittered base walk. Spikes win over surges.
+	type episode struct {
+		start, end simkit.Time
+		price      float64
+	}
+	drawEpisodes := func(meanIvl, meanDur simkit.Time, price func() float64) []episode {
+		var eps []episode
+		t := simkit.Time(float64(meanIvl) * r.ExpFloat64())
+		for t < horizon {
+			dur := simkit.Time(float64(meanDur) * r.ExpFloat64())
+			if dur < simkit.Minute {
+				dur = simkit.Minute
+			}
+			end := t + dur
+			if end > horizon {
+				end = horizon
+			}
+			eps = append(eps, episode{start: t, end: end, price: price()})
+			t = end + simkit.Time(float64(meanIvl)*r.ExpFloat64())
+		}
+		return eps
+	}
+	surges := drawEpisodes(cfg.SurgeMeanInterval, cfg.SurgeDuration, func() float64 {
+		return od * cfg.SurgeRatio.Sample(r)
+	})
+	spikes := drawEpisodes(cfg.SpikeMeanInterval, cfg.SpikeDuration, func() float64 {
+		return od * cfg.SpikeHeight.Sample(r)
+	})
+
+	override := func(t simkit.Time) (float64, simkit.Time, bool) {
+		// Returns the overlay price and the overlay's end, if t is inside
+		// a spike or surge. Spikes take precedence.
+		for _, e := range spikes {
+			if t >= e.start && t < e.end {
+				return e.price, e.end, true
+			}
+		}
+		for _, e := range surges {
+			if t >= e.start && t < e.end {
+				return e.price, e.end, true
+			}
+		}
+		return 0, 0, false
+	}
+	nextEpisodeStart := func(t simkit.Time) simkit.Time {
+		next := horizon
+		for _, e := range spikes {
+			if e.start > t && e.start < next {
+				next = e.start
+			}
+		}
+		for _, e := range surges {
+			if e.start > t && e.start < next {
+				next = e.start
+			}
+		}
+		return next
+	}
+
+	var pts []Point
+	level := base
+	clampPt := func(t simkit.Time, p float64) {
+		if p < floor {
+			p = floor
+		}
+		if p <= 0 {
+			p = 0.0001
+		}
+		// Skip no-op points (identical price) except the mandatory t=0.
+		if len(pts) > 0 && pts[len(pts)-1].Price == cloud.USD(p) {
+			return
+		}
+		pts = append(pts, Point{T: t, Price: cloud.USD(p)})
+	}
+
+	t := simkit.Time(0)
+	for t < horizon {
+		if p, end, in := override(t); in {
+			clampPt(t, p)
+			t = end
+			continue
+		}
+		// Normal regime: mean-reverting jitter around base.
+		level = base * math.Exp(r.NormFloat64()*cfg.Jitter)
+		clampPt(t, level)
+		step := simkit.Time(float64(cfg.StepMean) * r.ExpFloat64())
+		if step < simkit.Minute {
+			step = simkit.Minute
+		}
+		next := t + step
+		if ep := nextEpisodeStart(t); ep < next {
+			next = ep
+		}
+		t = next
+	}
+	if len(pts) == 0 || pts[0].T != 0 {
+		pts = append([]Point{{T: 0, Price: cloud.USD(base)}}, pts...)
+	}
+	return NewTrace(pts, horizon)
+}
+
+// GenerateSet generates independent traces for every market. Each market
+// derives its own RNG stream from seed and its key, so adding or reordering
+// markets does not perturb the others.
+func GenerateSet(configs map[MarketKey]GenConfig, horizon simkit.Time, seed int64) (Set, error) {
+	out := make(Set, len(configs))
+	keys := make([]MarketKey, 0, len(configs))
+	for k := range configs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Type != keys[j].Type {
+			return keys[i].Type < keys[j].Type
+		}
+		return keys[i].Zone < keys[j].Zone
+	})
+	for _, k := range keys {
+		r := rand.New(rand.NewSource(seed ^ int64(hashKey(k))))
+		tr, err := Generate(configs[k], horizon, r)
+		if err != nil {
+			return nil, fmt.Errorf("market %v: %w", k, err)
+		}
+		out[k] = tr
+	}
+	return out, nil
+}
+
+// hashKey derives a stable per-market stream offset (FNV-1a).
+func hashKey(k MarketKey) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range []byte(k.Type + "|" + string(k.Zone)) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,127 @@
+package spotmarket
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// MarkovConfig parameterises an alternative price process: a two-state
+// Markov-modulated model (calm / hot) rather than the overlay process of
+// GenConfig. Policy results should be robust to the choice of synthetic
+// model; the trace-model sensitivity ablation runs both.
+//
+// In the calm state the price performs a mean-reverting lognormal walk far
+// below the on-demand price. Transitions to the hot state happen at an
+// exponential rate; in the hot state the price is pinned above the
+// on-demand price (Pareto height) until the state relaxes back.
+type MarkovConfig struct {
+	OnDemand cloud.USD
+
+	CalmRatio float64     // calm-state mean price / on-demand
+	CalmSigma float64     // lognormal step scale of the calm walk
+	Step      simkit.Time // mean spacing of calm-state updates
+
+	// MeanCalm and MeanHot are the expected state holding times.
+	MeanCalm simkit.Time
+	MeanHot  simkit.Time
+	// HotHeight draws the hot-state price as a multiple of on-demand.
+	HotHeight simkit.Dist
+}
+
+// Validate reports configuration errors.
+func (c MarkovConfig) Validate() error {
+	switch {
+	case c.OnDemand <= 0:
+		return fmt.Errorf("spotmarket: OnDemand must be positive")
+	case c.CalmRatio <= 0 || c.CalmRatio >= 1:
+		return fmt.Errorf("spotmarket: CalmRatio must be in (0,1)")
+	case c.CalmSigma <= 0:
+		return fmt.Errorf("spotmarket: CalmSigma must be positive")
+	case c.Step <= 0 || c.MeanCalm <= 0 || c.MeanHot <= 0:
+		return fmt.Errorf("spotmarket: Step, MeanCalm and MeanHot must be positive")
+	case c.HotHeight == nil:
+		return fmt.Errorf("spotmarket: HotHeight distribution required")
+	}
+	return nil
+}
+
+// DefaultMarkovConfig returns a model roughly matched to
+// DefaultConfig(od, VolatilityMedium): hot episodes every ~120 h lasting
+// ~1.5 h.
+func DefaultMarkovConfig(onDemand cloud.USD) MarkovConfig {
+	return MarkovConfig{
+		OnDemand:  onDemand,
+		CalmRatio: 0.15,
+		CalmSigma: 0.10,
+		Step:      simkit.Hour,
+		MeanCalm:  120 * simkit.Hour,
+		MeanHot:   90 * simkit.Minute,
+		HotHeight: simkit.Clamped{Inner: simkit.Pareto{Scale: 1.1, Alpha: 1.15}, Lo: 1.05, Hi: 80},
+	}
+}
+
+// GenerateMarkov produces a trace from the two-state model.
+func GenerateMarkov(cfg MarkovConfig, horizon simkit.Time, r *rand.Rand) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("spotmarket: horizon must be positive")
+	}
+	od := float64(cfg.OnDemand)
+	base := od * cfg.CalmRatio
+	floor := base / 10
+
+	var pts []Point
+	add := func(t simkit.Time, p float64) {
+		if p < floor {
+			p = floor
+		}
+		if len(pts) > 0 && pts[len(pts)-1].Price == cloud.USD(p) {
+			return
+		}
+		pts = append(pts, Point{T: t, Price: cloud.USD(p)})
+	}
+
+	t := simkit.Time(0)
+	level := base
+	hotUntil := simkit.Time(-1)
+	nextHot := simkit.Time(float64(cfg.MeanCalm) * r.ExpFloat64())
+	for t < horizon {
+		if t >= nextHot && t > hotUntil {
+			// Enter the hot state.
+			hot := od * cfg.HotHeight.Sample(r)
+			add(t, hot)
+			dur := simkit.Time(float64(cfg.MeanHot) * r.ExpFloat64())
+			if dur < simkit.Minute {
+				dur = simkit.Minute
+			}
+			hotUntil = t + dur
+			nextHot = hotUntil + simkit.Time(float64(cfg.MeanCalm)*r.ExpFloat64())
+			t = hotUntil
+			continue
+		}
+		// Calm state: mean-reverting multiplicative walk.
+		level = level * math.Exp(r.NormFloat64()*cfg.CalmSigma)
+		// Pull halfway back toward the base each step (mean reversion).
+		level = math.Sqrt(level * base)
+		add(t, level)
+		step := simkit.Time(float64(cfg.Step) * r.ExpFloat64())
+		if step < simkit.Minute {
+			step = simkit.Minute
+		}
+		next := t + step
+		if nextHot > t && nextHot < next {
+			next = nextHot
+		}
+		t = next
+	}
+	if len(pts) == 0 || pts[0].T != 0 {
+		pts = append([]Point{{T: 0, Price: cloud.USD(base)}}, pts...)
+	}
+	return NewTrace(pts, horizon)
+}

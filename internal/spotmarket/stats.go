@@ -1,0 +1,153 @@
+package spotmarket
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// AvailabilityAtBid returns the availability (fraction of the trace during
+// which the market price is at or below bid) — one point of Figure 6a's
+// availability-vs-bid curve.
+func AvailabilityAtBid(tr *Trace, bid cloud.USD) float64 {
+	return tr.FractionBelow(bid, 0, tr.End())
+}
+
+// AvailabilityCurve evaluates availability at each bid/on-demand ratio,
+// reproducing one line of Figure 6a.
+func AvailabilityCurve(tr *Trace, onDemand cloud.USD, ratios []float64) []float64 {
+	out := make([]float64, len(ratios))
+	for i, r := range ratios {
+		out[i] = AvailabilityAtBid(tr, cloud.USD(float64(onDemand)*r))
+	}
+	return out
+}
+
+// HourlyJumps returns the percentage magnitudes of hourly price changes,
+// split into increases and decreases (Figure 6b). Prices are sampled on an
+// hourly grid as the paper does; zero-change hours are skipped.
+func HourlyJumps(tr *Trace) (increases, decreases []float64) {
+	grid := tr.SampleGrid(simkit.Hour)
+	for i := 1; i < len(grid); i++ {
+		prev, cur := grid[i-1], grid[i]
+		if prev <= 0 {
+			continue
+		}
+		pct := 100 * (cur - prev) / prev
+		switch {
+		case pct > 0:
+			increases = append(increases, pct)
+		case pct < 0:
+			decreases = append(decreases, -pct)
+		}
+	}
+	return increases, decreases
+}
+
+// Pearson computes the Pearson correlation coefficient between two equal-
+// length series. It returns 0 for degenerate (constant or empty) inputs.
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// CorrelationMatrix computes pairwise Pearson correlations of the traces'
+// hourly price series, in the order given (Figures 6c/6d).
+func CorrelationMatrix(traces []*Trace) [][]float64 {
+	series := make([][]float64, len(traces))
+	for i, tr := range traces {
+		series[i] = tr.SampleGrid(simkit.Hour)
+	}
+	m := make([][]float64, len(traces))
+	for i := range m {
+		m[i] = make([]float64, len(traces))
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = 1
+				continue
+			}
+			m[i][j] = Pearson(series[i], series[j])
+		}
+	}
+	return m
+}
+
+// OffDiagonalStats summarises the magnitudes of the off-diagonal entries of
+// a correlation matrix (used to assert cross-market independence).
+func OffDiagonalStats(m [][]float64) (mean, max float64) {
+	var n int
+	for i := range m {
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			v := math.Abs(m[i][j])
+			mean += v
+			if v > max {
+				max = v
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return mean, max
+}
+
+// RevocationRate returns the number of excursions above bid per hour — the
+// rate R = p/T of the paper's §4.4 availability analysis.
+func RevocationRate(tr *Trace, bid cloud.USD) float64 {
+	hrs := tr.End().Hours()
+	if hrs <= 0 {
+		return 0
+	}
+	return float64(len(tr.ExcursionsAbove(bid))) / hrs
+}
+
+// PriceRatioQuantiles returns the q-quantiles of price/on-demand sampled
+// hourly; summarises the Figure 6a price distribution.
+func PriceRatioQuantiles(tr *Trace, onDemand cloud.USD, qs []float64) []float64 {
+	grid := tr.SampleGrid(simkit.Hour)
+	for i := range grid {
+		grid[i] /= float64(onDemand)
+	}
+	sort.Float64s(grid)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if len(grid) == 0 {
+			continue
+		}
+		idx := int(q * float64(len(grid)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(grid) {
+			idx = len(grid) - 1
+		}
+		out[i] = grid[idx]
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package spotmarket models the native platform's spot price dynamics:
+// step-function price traces per (instance type, zone) market, a synthetic
+// regime-switching generator calibrated to the statistics the paper reports
+// in Figure 6, analysis helpers (availability-vs-bid CDFs, jump
+// distributions, cross-market correlation), and CSV trace interchange so
+// real price archives can be replayed through the same interface.
+package spotmarket
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// Point is one price change: the market price becomes Price at time T and
+// holds until the next point.
+type Point struct {
+	T     simkit.Time
+	Price cloud.USD
+}
+
+// Trace is a right-continuous step function of the spot price over
+// [0, End). The first point must be at T=0 so the price is defined from the
+// start of the simulation.
+type Trace struct {
+	points []Point
+	end    simkit.Time
+}
+
+// NewTrace builds a trace from points. Points must be strictly increasing
+// in time, start at T=0, carry positive prices, and end before end.
+func NewTrace(points []Point, end simkit.Time) (*Trace, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("spotmarket: trace needs at least one point")
+	}
+	if points[0].T != 0 {
+		return nil, fmt.Errorf("spotmarket: trace must start at t=0, got %v", points[0].T)
+	}
+	for i, p := range points {
+		if p.Price <= 0 {
+			return nil, fmt.Errorf("spotmarket: non-positive price %v at point %d", p.Price, i)
+		}
+		if i > 0 && p.T <= points[i-1].T {
+			return nil, fmt.Errorf("spotmarket: points not strictly increasing at %d (%v after %v)", i, p.T, points[i-1].T)
+		}
+	}
+	if last := points[len(points)-1].T; last >= end {
+		return nil, fmt.Errorf("spotmarket: last point %v not before end %v", last, end)
+	}
+	cp := append([]Point(nil), points...)
+	return &Trace{points: cp, end: end}, nil
+}
+
+// End reports the trace horizon; prices are undefined at or after End and
+// PriceAt clamps to the final segment.
+func (tr *Trace) End() simkit.Time { return tr.end }
+
+// Len reports the number of price changes.
+func (tr *Trace) Len() int { return len(tr.points) }
+
+// Points returns a copy of the price-change points.
+func (tr *Trace) Points() []Point { return append([]Point(nil), tr.points...) }
+
+// segmentAt returns the index of the segment containing t.
+func (tr *Trace) segmentAt(t simkit.Time) int {
+	// Find the last point with T <= t.
+	i := sort.Search(len(tr.points), func(i int) bool { return tr.points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// PriceAt returns the market price at time t (clamped to the first/last
+// segment outside [0, End)).
+func (tr *Trace) PriceAt(t simkit.Time) cloud.USD {
+	if t < 0 {
+		return tr.points[0].Price
+	}
+	return tr.points[tr.segmentAt(t)].Price
+}
+
+// NextChangeAfter returns the time of the first price change strictly after
+// t, or ok=false when the price never changes again before End.
+func (tr *Trace) NextChangeAfter(t simkit.Time) (simkit.Time, bool) {
+	i := sort.Search(len(tr.points), func(i int) bool { return tr.points[i].T > t })
+	if i == len(tr.points) {
+		return 0, false
+	}
+	return tr.points[i].T, true
+}
+
+// Integrate returns the rental cost in dollars of holding one instance at
+// the market price over [a, b): the integral of price dt, in $·hr.
+func (tr *Trace) Integrate(a, b simkit.Time) cloud.USD {
+	if b <= a {
+		return 0
+	}
+	var total float64
+	i := tr.segmentAt(a)
+	cur := a
+	for cur < b {
+		segEnd := b
+		if i+1 < len(tr.points) && tr.points[i+1].T < b {
+			segEnd = tr.points[i+1].T
+		}
+		total += float64(tr.points[i].Price) * segEnd.Sub(cur).Hours()
+		cur = segEnd
+		i++
+	}
+	return cloud.USD(total)
+}
+
+// MeanPrice returns the time-weighted mean price over [a, b).
+func (tr *Trace) MeanPrice(a, b simkit.Time) cloud.USD {
+	if b <= a {
+		return 0
+	}
+	return cloud.USD(float64(tr.Integrate(a, b)) / b.Sub(a).Hours())
+}
+
+// FractionBelow returns the fraction of [a, b) during which the price is at
+// or below bid. Bidding `bid` on this market yields exactly this
+// availability before accounting for migration downtime (Figure 6a).
+func (tr *Trace) FractionBelow(bid cloud.USD, a, b simkit.Time) float64 {
+	if b <= a {
+		return 0
+	}
+	var below float64
+	i := tr.segmentAt(a)
+	cur := a
+	for cur < b {
+		segEnd := b
+		if i+1 < len(tr.points) && tr.points[i+1].T < b {
+			segEnd = tr.points[i+1].T
+		}
+		if tr.points[i].Price <= bid {
+			below += segEnd.Sub(cur).Hours()
+		}
+		cur = segEnd
+		i++
+	}
+	return below / b.Sub(a).Hours()
+}
+
+// Excursion is one contiguous interval during which the price exceeded the
+// bid; each excursion revokes every spot instance bid at that level.
+type Excursion struct {
+	Start, End simkit.Time
+	Peak       cloud.USD
+}
+
+// ExcursionsAbove returns the intervals of [0, End) where price > bid.
+func (tr *Trace) ExcursionsAbove(bid cloud.USD) []Excursion {
+	var out []Excursion
+	var open bool
+	var cur Excursion
+	for i, p := range tr.points {
+		segEnd := tr.end
+		if i+1 < len(tr.points) {
+			segEnd = tr.points[i+1].T
+		}
+		if p.Price > bid {
+			if !open {
+				open = true
+				cur = Excursion{Start: p.T, Peak: p.Price}
+			} else if p.Price > cur.Peak {
+				cur.Peak = p.Price
+			}
+			cur.End = segEnd
+		} else if open {
+			out = append(out, cur)
+			open = false
+		}
+	}
+	if open {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Slice re-bases the sub-interval [a, b) of the trace as a standalone
+// trace starting at t=0 — how a real multi-year price archive is cut into
+// evaluation windows.
+func (tr *Trace) Slice(a, b simkit.Time) (*Trace, error) {
+	if a < 0 || b <= a || b > tr.end {
+		return nil, fmt.Errorf("spotmarket: slice [%v, %v) outside [0, %v)", a, b, tr.end)
+	}
+	pts := []Point{{T: 0, Price: tr.PriceAt(a)}}
+	i := tr.segmentAt(a)
+	for _, p := range tr.points[i+1:] {
+		if p.T >= b {
+			break
+		}
+		if p.T > a {
+			pts = append(pts, Point{T: p.T - a, Price: p.Price})
+		}
+	}
+	return NewTrace(pts, b-a)
+}
+
+// SampleGrid returns the price sampled every interval over [0, End), used
+// for jump statistics and cross-market correlation.
+func (tr *Trace) SampleGrid(interval simkit.Time) []float64 {
+	if interval <= 0 {
+		return nil
+	}
+	n := int(tr.end / interval)
+	out := make([]float64, 0, n)
+	for t := simkit.Time(0); t < tr.end; t += interval {
+		out = append(out, float64(tr.PriceAt(t)))
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// LatencyStats summarises a simulated request stream's latency
+// distribution in milliseconds.
+type LatencyStats struct {
+	N                   int
+	MeanMs              float64
+	P50Ms, P95Ms, P99Ms float64
+	MaxMs               float64
+}
+
+// SimulateRequests draws n request latencies under the given conditions
+// for a latency-oriented profile. The per-request model is an M/M/1-style
+// exponential service distribution around the analytic mean (the paper
+// reports means; the request simulation supplies the tail percentiles an
+// operator of an interactive application actually watches).
+func (p Profile) SimulateRequests(c Conditions, n int, r *rand.Rand) (LatencyStats, error) {
+	if p.BaselineResponseMs <= 0 {
+		return LatencyStats{}, fmt.Errorf("workload: %s is not latency-oriented", p.Name)
+	}
+	if n <= 0 {
+		return LatencyStats{}, fmt.Errorf("workload: need a positive request count, got %d", n)
+	}
+	if r == nil {
+		return LatencyStats{}, fmt.Errorf("workload: nil rand source")
+	}
+	mean := p.ResponseTimeMs(c)
+	// Response = a deterministic floor (network + minimal processing,
+	// ~30% of the mean) plus an exponential queueing tail.
+	floor := 0.3 * mean
+	tailMean := mean - floor
+	samples := make([]float64, n)
+	var sum float64
+	for i := range samples {
+		v := floor + r.ExpFloat64()*tailMean
+		samples[i] = v
+		sum += v
+	}
+	sort.Float64s(samples)
+	q := func(f float64) float64 {
+		idx := int(f * float64(n-1))
+		return samples[idx]
+	}
+	return LatencyStats{
+		N:      n,
+		MeanMs: sum / float64(n),
+		P50Ms:  q(0.50),
+		P95Ms:  q(0.95),
+		P99Ms:  q(0.99),
+		MaxMs:  samples[n-1],
+	}, nil
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateRequestsStats(t *testing.T) {
+	p := TPCW()
+	r := rand.New(rand.NewSource(1))
+	stats, err := p.SimulateRequests(Conditions{}, 50000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.N != 50000 {
+		t.Error("sample count wrong")
+	}
+	// The mean matches the analytic model.
+	if math.Abs(stats.MeanMs-29)/29 > 0.05 {
+		t.Errorf("mean = %.1f ms, want ~29", stats.MeanMs)
+	}
+	// Percentiles are ordered and the tail is fat (exponential).
+	if !(stats.P50Ms < stats.P95Ms && stats.P95Ms < stats.P99Ms && stats.P99Ms <= stats.MaxMs) {
+		t.Errorf("percentiles out of order: %+v", stats)
+	}
+	if stats.P99Ms < stats.MeanMs*2 {
+		t.Errorf("p99 = %.1f ms, want a fat tail over the %.1f ms mean", stats.P99Ms, stats.MeanMs)
+	}
+	// The deterministic floor bounds the minimum.
+	if stats.P50Ms < 0.3*29 {
+		t.Errorf("p50 = %.1f ms below the deterministic floor", stats.P50Ms)
+	}
+}
+
+func TestSimulateRequestsUnderRestore(t *testing.T) {
+	p := TPCW()
+	r := rand.New(rand.NewSource(2))
+	normal, err := p.SimulateRequests(Conditions{}, 20000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoring, err := p.SimulateRequests(Conditions{LazyRestoring: true}, 20000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restoring.MeanMs < normal.MeanMs*1.5 {
+		t.Errorf("restore mean %.1f ms should roughly double normal %.1f ms", restoring.MeanMs, normal.MeanMs)
+	}
+}
+
+func TestSimulateRequestsErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if _, err := SPECjbb().SimulateRequests(Conditions{}, 100, r); err == nil {
+		t.Error("throughput profile accepted")
+	}
+	if _, err := TPCW().SimulateRequests(Conditions{}, 0, r); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := TPCW().SimulateRequests(Conditions{}, 100, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+}

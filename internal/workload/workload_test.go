@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTPCWBaseline(t *testing.T) {
+	p := TPCW()
+	if rt := p.ResponseTimeMs(Conditions{}); rt != 29 {
+		t.Errorf("baseline = %v, want 29 ms", rt)
+	}
+}
+
+// Paper: "By simply turning checkpointing on and using a dedicated backup
+// server, TPC-W experiences a 15% increase in response time."
+func TestTPCWCheckpointOverhead(t *testing.T) {
+	p := TPCW()
+	rt := p.ResponseTimeMs(Conditions{Checkpointing: true, BackupUtilization: 0.03})
+	if math.Abs(rt-29*1.15) > 1e-9 {
+		t.Errorf("checkpointing response = %v, want %v", rt, 29*1.15)
+	}
+}
+
+// Paper: SPECjbb "experiences no noticeable performance degradation during
+// normal operation" with a dedicated backup server.
+func TestSPECjbbCheckpointNoOverhead(t *testing.T) {
+	p := SPECjbb()
+	tp := p.ThroughputBops(Conditions{Checkpointing: true, BackupUtilization: 0.03})
+	if tp != 10500 {
+		t.Errorf("checkpointing throughput = %v, want 10500", tp)
+	}
+}
+
+// Paper (Figure 7): performance degrades past ~35 VMs per backup server,
+// by roughly 30% each at high multiplexing.
+func TestSaturationKnee(t *testing.T) {
+	tw, jbb := TPCW(), SPECjbb()
+	// Below the knee: flat.
+	lo := tw.ResponseTimeMs(Conditions{Checkpointing: true, BackupUtilization: 0.5})
+	knee := tw.ResponseTimeMs(Conditions{Checkpointing: true, BackupUtilization: 0.9})
+	if lo != knee {
+		t.Errorf("response grew below the knee: %v -> %v", lo, knee)
+	}
+	// Past the knee: grows.
+	hi := tw.ResponseTimeMs(Conditions{Checkpointing: true, BackupUtilization: 1.3})
+	if hi <= knee {
+		t.Error("response did not grow past the knee")
+	}
+	growth := hi/knee - 1
+	if growth < 0.2 || growth > 0.6 {
+		t.Errorf("TPC-W growth at 1.3 util = %.0f%%, want ~30%%", growth*100)
+	}
+	jlo := jbb.ThroughputBops(Conditions{Checkpointing: true, BackupUtilization: 0.5})
+	jhi := jbb.ThroughputBops(Conditions{Checkpointing: true, BackupUtilization: 1.3})
+	drop := 1 - jhi/jlo
+	if drop < 0.2 || drop > 0.5 {
+		t.Errorf("SPECjbb drop at 1.3 util = %.0f%%, want ~30%%", drop*100)
+	}
+}
+
+// Paper (Figure 9): response time rises from 29 ms to ~60 ms during lazy
+// restoration and is insensitive to concurrent restorations.
+func TestTPCWLazyRestore(t *testing.T) {
+	p := TPCW()
+	rt := p.ResponseTimeMs(Conditions{LazyRestoring: true})
+	if rt != 60 {
+		t.Errorf("restoring response = %v, want 60 ms", rt)
+	}
+	// Still ~60 regardless of moderate backup load (per-VM throttling).
+	rt2 := p.ResponseTimeMs(Conditions{LazyRestoring: true, Checkpointing: true, BackupUtilization: 0.6})
+	if rt2 != 60 {
+		t.Errorf("restoring response under load = %v, want 60 ms", rt2)
+	}
+}
+
+func TestSPECjbbLazyRestoreHalvesThroughput(t *testing.T) {
+	p := SPECjbb()
+	tp := p.ThroughputBops(Conditions{LazyRestoring: true})
+	if tp != 10500*0.5 {
+		t.Errorf("restoring throughput = %v, want %v", tp, 10500*0.5)
+	}
+}
+
+func TestWrongMetricPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("throughput of TPC-W", func() { TPCW().ThroughputBops(Conditions{}) })
+	expectPanic("response of SPECjbb", func() { SPECjbb().ResponseTimeMs(Conditions{}) })
+}
+
+// Property: response time is monotone non-decreasing in backup utilization,
+// and throughput is monotone non-increasing.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		u1 := float64(a%2000) / 1000 // [0,2)
+		u2 := float64(b%2000) / 1000
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		tw := TPCW()
+		jbb := SPECjbb()
+		r1 := tw.ResponseTimeMs(Conditions{Checkpointing: true, BackupUtilization: u1})
+		r2 := tw.ResponseTimeMs(Conditions{Checkpointing: true, BackupUtilization: u2})
+		t1 := jbb.ThroughputBops(Conditions{Checkpointing: true, BackupUtilization: u1})
+		t2 := jbb.ThroughputBops(Conditions{Checkpointing: true, BackupUtilization: u2})
+		return r2 >= r1 && t2 <= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfilesCarryDirtyRates(t *testing.T) {
+	if TPCW().DirtyMBs <= 0 || SPECjbb().DirtyMBs <= 0 {
+		t.Error("profiles must expose positive dirty rates for backup sizing")
+	}
+	if SPECjbb().DirtyMBs <= TPCW().DirtyMBs {
+		t.Error("SPECjbb is the more memory-intensive workload")
+	}
+}
+
+// M/M/1 load sensitivity: response time grows with utilization relative to
+// the calibration load, unbounded growth clamped near saturation.
+func TestLoadFactorScaling(t *testing.T) {
+	p := TPCW()
+	atCal := p.ResponseTimeMs(Conditions{LoadFactor: 0.5})
+	if math.Abs(atCal-29) > 1e-9 {
+		t.Errorf("response at calibration load = %v, want the 29 ms baseline", atCal)
+	}
+	light := p.ResponseTimeMs(Conditions{LoadFactor: 0.1})
+	heavy := p.ResponseTimeMs(Conditions{LoadFactor: 0.9})
+	if !(light < atCal && atCal < heavy) {
+		t.Errorf("load scaling broken: %.1f / %.1f / %.1f", light, atCal, heavy)
+	}
+	// 0.9 load: (1-0.5)/(1-0.9) = 5x the baseline.
+	if math.Abs(heavy-5*29) > 1e-9 {
+		t.Errorf("response at 0.9 load = %v, want 145", heavy)
+	}
+	// Saturation clamps rather than diverging.
+	sat := p.ResponseTimeMs(Conditions{LoadFactor: 1.5})
+	if math.IsInf(sat, 1) || sat > 29*60 {
+		t.Errorf("saturated response = %v, want clamped", sat)
+	}
+	// Zero keeps the paper's calibration numbers untouched.
+	if p.ResponseTimeMs(Conditions{}) != 29 {
+		t.Error("zero load must keep the paper baseline")
+	}
+}
+
+func TestLoadFactorThroughput(t *testing.T) {
+	p := SPECjbb()
+	base := p.ThroughputBops(Conditions{})
+	half := p.ThroughputBops(Conditions{LoadFactor: 0.25})
+	full := p.ThroughputBops(Conditions{LoadFactor: 1.0})
+	over := p.ThroughputBops(Conditions{LoadFactor: 3.0})
+	if half >= base {
+		t.Errorf("quarter load throughput %v should be below calibration %v", half, base)
+	}
+	if full != base*2 {
+		t.Errorf("full load = %v, want capacity 2x calibration", full)
+	}
+	if over != full {
+		t.Errorf("overload = %v, want clamped at capacity %v", over, full)
+	}
+}
