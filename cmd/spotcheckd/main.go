@@ -20,6 +20,8 @@
 //	GET    /report                                  cost/availability report
 //	GET    /customers                               per-tenant accounting
 //	GET    /status                                  operator status (text)
+//	GET    /metrics                                 Prometheus text exposition
+//	GET    /trace                                   controller event trace (JSON)
 //	POST   /advance?d=1h                            advance virtual time
 //	GET    /clock                                   current virtual time
 package main
@@ -40,6 +42,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/migration"
 	"repro/internal/nestedvm"
+	"repro/internal/obs"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 )
@@ -49,6 +52,8 @@ type daemon struct {
 	sched *simkit.Scheduler
 	plat  *cloudsim.Platform
 	ctrl  *core.Controller
+	reg   *obs.Registry
+	trace *obs.Trace
 }
 
 func newDaemon(months float64, seed int64) (*daemon, error) {
@@ -58,7 +63,9 @@ func newDaemon(months float64, seed int64) (*daemon, error) {
 		return nil, err
 	}
 	sched := simkit.NewScheduler()
-	plat, err := cloudsim.New(sched, cloudsim.Config{Traces: traces, Seed: seed})
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace(0)
+	plat, err := cloudsim.New(sched, cloudsim.Config{Traces: traces, Seed: seed, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -68,11 +75,13 @@ func newDaemon(months float64, seed int64) (*daemon, error) {
 		Mechanism: migration.SpotCheckLazy,
 		Placement: core.Policy4PED(),
 		Seed:      seed,
+		Metrics:   reg,
+		Trace:     trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{sched: sched, plat: plat, ctrl: ctrl}, nil
+	return &daemon{sched: sched, plat: plat, ctrl: ctrl, reg: reg, trace: trace}, nil
 }
 
 // advance moves virtual time forward under the lock.
@@ -234,6 +243,25 @@ func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, d.ctrl.StatusText())
 }
 
+// handleMetrics serves the Prometheus text exposition. It deliberately does
+// NOT take d.mu: the registry's instruments are atomics, so a scrape during
+// an /advance tick is safe — the point of the obs package's design.
+func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := d.reg.WritePrometheus(w); err != nil {
+		log.Printf("spotcheckd: metrics: %v", err)
+	}
+}
+
+// handleTrace dumps the controller's event-trace ring, oldest first.
+func (d *daemon) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	d.writeJSON(w, http.StatusOK, map[string]any{
+		"total":   d.trace.Total(),
+		"dropped": d.trace.Dropped(),
+		"events":  d.trace.Events(),
+	})
+}
+
 func (d *daemon) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		d.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
@@ -273,6 +301,13 @@ func main() {
 			}
 		}()
 	}
+	log.Printf("spotcheckd: listening on %s (speedup %.0fx, markets %v)",
+		*listen, *speedup, marketNames())
+	log.Fatal(http.ListenAndServe(*listen, d.mux()))
+}
+
+// mux builds the daemon's route table (shared with the tests).
+func (d *daemon) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/servers", d.handleServers)
 	mux.HandleFunc("/servers/", d.handleServer)
@@ -281,12 +316,11 @@ func main() {
 	mux.HandleFunc("/report", d.handleReport)
 	mux.HandleFunc("/customers", d.handleCustomers)
 	mux.HandleFunc("/status", d.handleStatus)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/trace", d.handleTrace)
 	mux.HandleFunc("/advance", d.handleAdvance)
 	mux.HandleFunc("/clock", d.handleClock)
-
-	log.Printf("spotcheckd: listening on %s (speedup %.0fx, markets %v)",
-		*listen, *speedup, marketNames())
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	return mux
 }
 
 func marketNames() []string {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -16,16 +18,7 @@ func testServer(t *testing.T) (*daemon, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/servers", d.handleServers)
-	mux.HandleFunc("/servers/", d.handleServer)
-	mux.HandleFunc("/pools", d.handlePools)
-	mux.HandleFunc("/prices", d.handlePrices)
-	mux.HandleFunc("/report", d.handleReport)
-	mux.HandleFunc("/customers", d.handleCustomers)
-	mux.HandleFunc("/advance", d.handleAdvance)
-	mux.HandleFunc("/clock", d.handleClock)
-	srv := httptest.NewServer(mux)
+	srv := httptest.NewServer(d.mux())
 	t.Cleanup(srv.Close)
 	return d, srv
 }
@@ -280,6 +273,129 @@ func TestDaemonServerEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	decode(t, resp, http.StatusNotFound, nil)
+}
+
+// TestDaemonMetrics scrapes /metrics after simulated activity and checks the
+// body is well-formed Prometheus text format 0.0.4 with live series.
+func TestDaemonMetrics(t *testing.T) {
+	d, srv := testServer(t)
+	client := srv.Client()
+	resp, err := client.Post(srv.URL+"/servers?customer=alice", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusCreated, nil)
+	d.advance(7 * 24 * simkit.Hour)
+
+	resp, err = client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+
+	// Structural validity: every non-comment, non-blank line must be
+	// "name{labels} value" or "name value"; HELP/TYPE must precede series.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed series line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			name = name[:i]
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric value in %q", line)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(name, suffix); ok && typed[s] {
+				base = s
+				break
+			}
+		}
+		if !typed[base] {
+			t.Errorf("series %q has no preceding TYPE", name)
+		}
+	}
+
+	// Activity over a week of 4P-ED markets must show up.
+	for _, want := range []string{
+		"spotcheck_vms_created_total 1",
+		"spotcheck_pool_hosts{",
+		"cloudsim_price_ticks_total{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDaemonTrace checks the /trace dump carries the VM's lifecycle events.
+func TestDaemonTrace(t *testing.T) {
+	d, srv := testServer(t)
+	client := srv.Client()
+	resp, err := client.Post(srv.URL+"/servers?customer=alice", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, http.StatusCreated, nil)
+	d.advance(simkit.Hour)
+
+	resp, err = client.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Scope   string `json:"scope"`
+			Subject string `json:"subject"`
+			Kind    string `json:"kind"`
+		} `json:"events"`
+	}
+	decode(t, resp, http.StatusOK, &dump)
+	if dump.Total == 0 || len(dump.Events) == 0 {
+		t.Fatalf("empty trace: %+v", dump)
+	}
+	kinds := map[string]bool{}
+	for _, e := range dump.Events {
+		kinds[e.Scope+"/"+e.Kind] = true
+	}
+	for _, want := range []string{"vm/requested", "vm/placed", "host/acquired", "market/bid"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %s event", want)
+		}
+	}
 }
 
 func TestDaemonEstimate(t *testing.T) {

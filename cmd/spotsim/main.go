@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	spotsim [-exp all|fig10|fig11|fig12|table3|headline] [-vms 40] [-months 6] [-seed 42]
+//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations] [-metrics] [-vms 40] [-months 6] [-seed 42]
+//
+// The -metrics flag additionally prints the headline simulation's
+// end-of-run observability snapshot (every spotcheck_* and cloudsim_*
+// series) as an aligned table.
 package main
 
 import (
@@ -20,18 +24,19 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations")
+	metrics := flag.Bool("metrics", false, "print the headline run's metrics snapshot")
 	vms := flag.Int("vms", 40, "nested VM fleet size")
 	months := flag.Float64("months", 6, "simulation horizon in months")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *vms, *months, *seed); err != nil {
+	if err := run(os.Stdout, *exp, *vms, *months, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "spotsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, vms int, months float64, seed int64) error {
+func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics bool) error {
 	horizon := simkit.Time(float64(30*simkit.Day) * months)
 	want := func(f string) bool { return exp == "all" || exp == f }
 
@@ -64,18 +69,25 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64) error {
 		fmt.Fprint(w, experiments.Table3Render(rows, vms).String())
 		fmt.Fprintln(w)
 	}
-	if want("headline") {
+	if want("headline") || metrics {
 		h, err := experiments.RunHeadline(vms, horizon, seed)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "Headline (1P-M, SpotCheck lazy, %d VMs, %.1f months):\n", vms, months)
-		fmt.Fprintf(w, "  cost per VM-hour:     $%.4f (on-demand $%.4f)\n", h.CostPerVMHour, h.OnDemandPerHour)
-		fmt.Fprintf(w, "  savings:              %.1fx\n", h.Savings)
-		fmt.Fprintf(w, "  availability:         %.4f%% (paper: 99.9989%%)\n", 100*h.Availability)
-		fmt.Fprintf(w, "  migrations:           %d\n", h.Migrations)
-		fmt.Fprintf(w, "  VMs lost:             %d (must be 0)\n", h.VMsLost)
-		fmt.Fprintln(w)
+		if want("headline") {
+			fmt.Fprintf(w, "Headline (1P-M, SpotCheck lazy, %d VMs, %.1f months):\n", vms, months)
+			fmt.Fprintf(w, "  cost per VM-hour:     $%.4f (on-demand $%.4f)\n", h.CostPerVMHour, h.OnDemandPerHour)
+			fmt.Fprintf(w, "  savings:              %.1fx\n", h.Savings)
+			fmt.Fprintf(w, "  availability:         %.4f%% (paper: 99.9989%%)\n", 100*h.Availability)
+			fmt.Fprintf(w, "  migrations:           %d\n", h.Migrations)
+			fmt.Fprintf(w, "  VMs lost:             %d (must be 0)\n", h.VMsLost)
+			fmt.Fprintln(w)
+		}
+		if metrics {
+			fmt.Fprintf(w, "Metrics snapshot (1P-M, SpotCheck lazy, %d VMs, %.1f months):\n", vms, months)
+			fmt.Fprint(w, h.Snapshot.Summary())
+			fmt.Fprintln(w)
+		}
 	}
 	if want("ablations") {
 		fmt.Fprintln(os.Stderr, "spotsim: running ablation studies...")
@@ -85,7 +97,7 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64) error {
 		}
 		fmt.Fprint(w, out)
 	}
-	if !needMatrix && !want("table3") && !want("headline") && !want("ablations") {
+	if !needMatrix && !want("table3") && !want("headline") && !want("ablations") && !metrics {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil

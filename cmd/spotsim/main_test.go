@@ -7,14 +7,14 @@ import (
 
 func TestRunHeadlineAndTable3(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "headline", 8, 0.5, 42); err != nil {
+	if err := run(&b, "headline", 8, 0.5, 42, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "savings:") {
 		t.Error("headline output missing")
 	}
 	b.Reset()
-	if err := run(&b, "table3", 8, 0.5, 42); err != nil {
+	if err := run(&b, "table3", 8, 0.5, 42, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Table 3") {
@@ -24,7 +24,7 @@ func TestRunHeadlineAndTable3(t *testing.T) {
 
 func TestRunFigures(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig11", 6, 0.5, 42); err != nil {
+	if err := run(&b, "fig11", 6, 0.5, 42, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -36,9 +36,43 @@ func TestRunFigures(t *testing.T) {
 	}
 }
 
+// TestRunMetrics pins the -metrics snapshot table: it must render the
+// headline run's registry with live migration, revocation and flush series.
+func TestRunMetrics(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "headline", 8, 0.5, 42, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Metrics snapshot") {
+		t.Fatal("metrics snapshot missing")
+	}
+	for _, name := range []string{
+		"spotcheck_migrations_started_total",
+		"spotcheck_revocation_warnings_total",
+		"spotcheck_flush_residue_mb",
+		"cloudsim_price_ticks_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metrics snapshot missing series %s", name)
+		}
+	}
+}
+
+// TestRunMetricsOnly verifies -metrics works without a named experiment.
+func TestRunMetricsOnly(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "fig11", 6, 0.5, 42, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Metrics snapshot") {
+		t.Error("metrics snapshot missing when combined with a figure")
+	}
+}
+
 func TestRunUnknown(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "nope", 8, 0.5, 42); err == nil {
+	if err := run(&b, "nope", 8, 0.5, 42, false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

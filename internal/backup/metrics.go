@@ -1,0 +1,54 @@
+package backup
+
+import "repro/internal/obs"
+
+// Metrics publishes the backup fleet's state into an obs.Registry: fleet
+// size, registered checkpoint streams, per-assignment fan-in, and each
+// server's aggregate checkpoint ingest bandwidth (the quantity whose
+// saturation produces Figure 7's knee). A nil *Metrics records nothing.
+type Metrics struct {
+	reg     *obs.Registry
+	servers *obs.Gauge
+	vms     *obs.Gauge
+	fanIn   *obs.Histogram
+}
+
+// NewMetrics registers the backup instrument families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		reg:     reg,
+		servers: reg.Gauge("spotcheck_backup_servers"),
+		vms:     reg.Gauge("spotcheck_backup_vms"),
+		fanIn:   reg.Histogram("spotcheck_backup_fanin", obs.CountBuckets),
+	}
+	reg.Describe("spotcheck_backup_servers", "Provisioned backup servers.")
+	reg.Describe("spotcheck_backup_vms", "Nested VMs with a registered checkpoint stream.")
+	reg.Describe("spotcheck_backup_fanin", "VMs multiplexed on the chosen backup server, per assignment.")
+	reg.Describe("spotcheck_backup_ingest_mbs", "Aggregate checkpoint ingest bandwidth per backup server.")
+	return m
+}
+
+// SetMetrics attaches metrics to the pool; pass nil to detach.
+func (p *Pool) SetMetrics(m *Metrics) { p.metrics = m }
+
+// sync refreshes the fleet-level gauges and one server's ingest gauge.
+func (m *Metrics) sync(p *Pool, s *Server) {
+	if m == nil {
+		return
+	}
+	m.servers.Set(float64(len(p.servers)))
+	m.vms.Set(float64(len(p.byVM)))
+	if s != nil {
+		m.reg.Gauge("spotcheck_backup_ingest_mbs", obs.L("server", s.ID())).
+			Set(s.IngestUtilization() * s.cfg.IngestMBs)
+	}
+}
+
+// assigned records a completed stream assignment onto server s.
+func (m *Metrics) assigned(p *Pool, s *Server) {
+	if m == nil {
+		return
+	}
+	m.fanIn.Observe(float64(s.VMs()))
+	m.sync(p, s)
+}

@@ -23,6 +23,8 @@ type Pool struct {
 	vmGroup    map[string]string
 	// onProvision, if set, is invoked after the pool adds a server.
 	onProvision func(*Server)
+	// metrics, if set, mirrors fleet state into an obs.Registry.
+	metrics *Metrics
 }
 
 type groupKey struct {
@@ -59,6 +61,7 @@ func (p *Pool) provision() *Server {
 	p.nextID++
 	s := NewServer(fmt.Sprintf("backup-%03d", p.nextID), p.cfg)
 	p.servers = append(p.servers, s)
+	p.metrics.sync(p, s)
 	if p.onProvision != nil {
 		p.onProvision(s)
 	}
@@ -128,6 +131,7 @@ func (p *Pool) AssignSpread(vmID string, dirtyMBs float64, group string) (*Serve
 		p.groupCount[groupKey{best, group}]++
 		p.vmGroup[vmID] = group
 	}
+	p.metrics.assigned(p, best)
 	return best, nil
 }
 
@@ -146,6 +150,7 @@ func (p *Pool) Release(vmID string) *Server {
 		}
 		delete(p.vmGroup, vmID)
 	}
+	p.metrics.sync(p, s)
 	return s
 }
 
@@ -168,6 +173,7 @@ func (p *Pool) Remove(s *Server) error {
 					delete(p.groupCount, k)
 				}
 			}
+			p.metrics.sync(p, s)
 			return nil
 		}
 	}

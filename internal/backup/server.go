@@ -1,19 +1,3 @@
-// Package backup models SpotCheck's backup servers: the machines that
-// continuously receive checkpointed memory state from spot-hosted nested
-// VMs and serve it back during restorations (§3.2, §5).
-//
-// The model captures the two resources that produce the paper's results:
-//
-//   - Ingest capacity (network + disk write): a backup server absorbs the
-//     sum of its VMs' dirty rates; past ~90% utilization, resident VMs
-//     degrade — the ~35-40 VM knee of Figure 7.
-//   - Restore read bandwidth: full restores stream sequentially and gain
-//     from request batching; unoptimized lazy restores issue random reads
-//     that gain nothing; SpotCheck's fadvise/ext4 tuning ("OptimizedIO")
-//     doubles base bandwidth and recovers batching for lazy reads —
-//     reproducing Figure 8's concurrency behaviour. Restore bandwidth is
-//     split evenly across concurrent restorations (the per-VM tc
-//     throttling of §5).
 package backup
 
 import (

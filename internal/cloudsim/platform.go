@@ -11,6 +11,7 @@ import (
 	"net/netip"
 
 	"repro/internal/cloud"
+	"repro/internal/obs"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 )
@@ -47,6 +48,10 @@ type Config struct {
 	// VPC is the private address block for nested VM IPs.
 	// Defaults to 10.0.0.0/16.
 	VPC netip.Prefix
+
+	// Metrics, if non-nil, receives platform instruments (price ticks,
+	// warnings, launches, finalized billing) under the cloudsim_ prefix.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -101,6 +106,56 @@ type Platform struct {
 	revocationListeners []func(cloud.RevocationWarning)
 
 	stats Stats
+	met   *platMetrics
+}
+
+// platMetrics holds the platform's pre-resolved instruments. A nil
+// *platMetrics (no Config.Metrics) records nothing.
+type platMetrics struct {
+	reg        *obs.Registry
+	warnings   *obs.Counter
+	forced     *obs.Counter
+	launchedOD *obs.Counter
+	launchedSp *obs.Counter
+}
+
+func newPlatMetrics(reg *obs.Registry) *platMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &platMetrics{
+		reg:        reg,
+		warnings:   reg.Counter("cloudsim_revocation_warnings_total"),
+		forced:     reg.Counter("cloudsim_forced_terminations_total"),
+		launchedOD: reg.Counter("cloudsim_instances_launched_total", obs.L("market", "on-demand")),
+		launchedSp: reg.Counter("cloudsim_instances_launched_total", obs.L("market", "spot")),
+	}
+	reg.Describe("cloudsim_revocation_warnings_total", "Revocation warnings issued to spot instances.")
+	reg.Describe("cloudsim_forced_terminations_total", "Spot instances reclaimed at their warning deadline.")
+	reg.Describe("cloudsim_instances_launched_total", "Native instances launched, by market.")
+	reg.Describe("cloudsim_price_ticks_total", "Spot price changes observed, by market.")
+	reg.Describe("cloudsim_billing_finalized_usd_total", "Accrued cost of terminated instances, by market.")
+	return m
+}
+
+// billed adds a terminated instance's final accrued cost to the billing
+// counter for its market.
+func (m *platMetrics) billed(market cloud.Market, usd float64) {
+	if m == nil || usd <= 0 {
+		return
+	}
+	m.reg.Counter("cloudsim_billing_finalized_usd_total", obs.L("market", market.String())).Add(usd)
+}
+
+func (m *platMetrics) launched(market cloud.Market) {
+	if m == nil {
+		return
+	}
+	if market == cloud.MarketSpot {
+		m.launchedSp.Inc()
+	} else {
+		m.launchedOD.Inc()
+	}
 }
 
 type instanceState struct {
@@ -129,6 +184,7 @@ func New(sched *simkit.Scheduler, cfg Config) (*Platform, error) {
 		spotByMarket: map[spotmarket.MarketKey]map[cloud.InstanceID]*instanceState{},
 		ipPool:       newIPPool(cfg.VPC),
 		liveCount:    map[string]int{},
+		met:          newPlatMetrics(cfg.Metrics),
 	}
 	for _, it := range cfg.Catalog {
 		p.types[it.Name] = it
@@ -297,6 +353,7 @@ func (p *Platform) finishLaunch(st *instanceState, cb cloud.InstanceCallback) {
 	st.inst.State = cloud.StateRunning
 	st.inst.Launched = p.sched.Now()
 	p.stats.Launched++
+	p.met.launched(st.inst.Market)
 	cb(st.inst, nil)
 }
 
@@ -346,6 +403,13 @@ func (p *Platform) destroy(st *instanceState) {
 	st.inst.Volumes = nil
 	if st.inst.Market == cloud.MarketSpot {
 		delete(p.spotByMarket[st.market], st.inst.ID)
+	}
+	// Billing is finalized here: Ended is set, so AccruedCost is the
+	// instance's whole-life bill.
+	if p.met != nil {
+		if cost, err := p.AccruedCost(st.inst.ID); err == nil {
+			p.met.billed(st.inst.Market, float64(cost))
+		}
 	}
 }
 
@@ -430,6 +494,11 @@ func (p *Platform) periodBilledCost(st *instanceState, end simkit.Time) (cloud.U
 // walkMarket schedules an event at every price change of the market and
 // issues revocation warnings to underbid spot instances.
 func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
+	// Resolve the per-market tick counter once, outside the hot closure.
+	var ticks *obs.Counter
+	if p.met != nil {
+		ticks = p.met.reg.Counter("cloudsim_price_ticks_total", obs.L("market", key.String()))
+	}
 	var step func(from simkit.Time)
 	step = func(from simkit.Time) {
 		next, ok := tr.NextChangeAfter(from)
@@ -437,6 +506,9 @@ func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
 			return
 		}
 		p.sched.At(next, "price-change "+key.String(), func() {
+			if ticks != nil {
+				ticks.Inc()
+			}
 			price := tr.PriceAt(next)
 			for _, st := range p.spotInstancesSorted(key) {
 				if st.inst.State == cloud.StateRunning && price > st.inst.Bid {
@@ -482,12 +554,18 @@ func (p *Platform) warn(st *instanceState, price cloud.USD) {
 		Price:    price,
 	}
 	p.stats.WarningsIssued++
+	if p.met != nil {
+		p.met.warnings.Inc()
+	}
 	st.forcedKill = p.sched.At(deadline, "forced-kill "+string(st.inst.ID), func() {
 		st.forcedKill = nil
 		if st.inst.State == cloud.StateTerminated {
 			return
 		}
 		p.stats.ForcedTerminations++
+		if p.met != nil {
+			p.met.forced.Inc()
+		}
 		st.reclaimed = true
 		p.destroy(st)
 	})

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/migration"
 	"repro/internal/nestedvm"
+	"repro/internal/obs"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 	"repro/internal/workload"
@@ -91,6 +92,15 @@ type Config struct {
 	// volume on a new host after a revocation (defaults to 30 s).
 	BootSeconds float64
 
+	// Metrics receives every controller instrument (counters, gauges,
+	// histograms). Defaults to a fresh private registry, so metrics are
+	// always recorded; pass a shared registry to expose them (spotcheckd's
+	// /metrics, spotsim's -metrics summary).
+	Metrics *obs.Registry
+	// Trace receives structured controller events (a bounded ring).
+	// Defaults to a fresh ring of obs.DefaultTraceCap events.
+	Trace *obs.Trace
+
 	// Predictive enables trend-based proactive migration (§3.2): when a
 	// spot pool's price rises toward the bid, live-migrate before the
 	// platform can issue a revocation. Mispredictions risk losing the
@@ -149,6 +159,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.BootSeconds == 0 {
 		c.BootSeconds = 30
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Trace == nil {
+		c.Trace = obs.NewTrace(0)
 	}
 	return nil
 }
@@ -255,11 +271,15 @@ type Controller struct {
 	// predictive trend check).
 	prevPrice map[spotmarket.MarketKey]cloud.USD
 
-	stats ControllerStats
+	// met holds the pre-resolved observability instruments; Stats() derives
+	// ControllerStats from it.
+	met *coreMetrics
 
 	// storms records concurrent-revocation batches (Table 3).
 	storms []StormEvent
 
+	// monitorEvent is the pending monitor tick, cancelled on Shutdown.
+	monitorEvent *simkit.Event
 	// shutdown marks a drained controller: no new spares or placements.
 	shutdown bool
 }
@@ -325,11 +345,13 @@ func New(cfg Config) (*Controller, error) {
 		backupHosts: map[string]*hostState{},
 		history:     NewHistory(),
 		events:      newEventLog(0),
+		met:         newCoreMetrics(cfg.Metrics, cfg.Trace),
 	}
 	// Backup-server I/O tuning follows the mechanism: the SpotCheck
 	// variants run the fadvise/ext4-tuned backup servers of §5.
 	c.cfg.Backup.OptimizedIO = cfg.Mechanism.Optimized()
 	c.backups = backup.NewPool(c.cfg.Backup, c.onBackupProvisioned)
+	c.backups.SetMetrics(backup.NewMetrics(c.cfg.Metrics))
 	c.prov.OnRevocationWarning(c.onRevocationWarning)
 	c.startMonitor()
 	for i := 0; i < cfg.HotSpares; i++ {
@@ -340,9 +362,6 @@ func New(cfg Config) (*Controller, error) {
 
 // Mechanism reports the configured migration mechanism.
 func (c *Controller) Mechanism() migration.Mechanism { return c.cfg.Mechanism }
-
-// Stats returns controller event counters.
-func (c *Controller) Stats() ControllerStats { return c.stats }
 
 // Storms returns the recorded concurrent-revocation batches.
 func (c *Controller) Storms() []StormEvent { return append([]StormEvent(nil), c.storms...) }

@@ -69,9 +69,12 @@ func (l *eventLog) get(id nestedvm.ID) []Event {
 	return append([]Event(nil), l.byVM[id]...)
 }
 
-// record appends an event to a VM's audit timeline.
+// record appends an event to a VM's audit timeline and mirrors it into the
+// shared obs trace ring (scope "vm"), so spotcheckd's /trace endpoint shows
+// the same stream the per-VM timelines hold.
 func (c *Controller) record(id nestedvm.ID, kind EventKind, format string, args ...any) {
 	c.events.add(id, c.sched.Now(), kind, format, args...)
+	c.traceEvent("vm", string(id), string(kind), format, args...)
 }
 
 // Events returns a VM's audit timeline (oldest first). Unknown VMs yield

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/migration"
+	"repro/internal/obs"
+)
+
+// coreMetrics holds the controller's pre-resolved instruments. The
+// controller is single-threaded on the sim loop, so the per-pool maps need
+// no locking; the instruments themselves are atomics, so a concurrent
+// scrape (spotcheckd's /metrics) always reads a consistent point.
+//
+// ControllerStats is reconstructed from these instruments by Stats() — the
+// registry is the single source of truth; there is no shadow tally.
+type coreMetrics struct {
+	reg   *obs.Registry
+	trace *obs.Trace
+	mig   *migration.Metrics
+
+	vmsCreated  *obs.Counter
+	vmsReleased *obs.Counter
+	// migStarted counts migrateVM entries by reason; migAborted counts
+	// return migrations undone before any copy happened (spot vanished
+	// between the calm check and acquisition). Counters stay monotonic;
+	// net migrations = started - aborted.
+	migStarted  map[migrationReason]*obs.Counter
+	migAborted  *obs.Counter
+	revocations *obs.Counter
+	stateLost   *obs.Counter
+	destFails   *obs.Counter
+	predictive  *obs.Counter
+	predMisses  *obs.Counter
+	sliced      *obs.Counter
+	monitorTick *obs.Counter
+	stormVMs    *obs.Histogram
+
+	hostsAcquired map[PoolKey]*obs.Counter
+	spotRequests  map[PoolKey]*obs.Counter
+	poolBid       map[PoolKey]*obs.Gauge
+	poolHosts     map[PoolKey]*obs.Gauge
+	poolVMs       map[PoolKey]*obs.Gauge
+}
+
+func newCoreMetrics(reg *obs.Registry, trace *obs.Trace) *coreMetrics {
+	m := &coreMetrics{
+		reg:         reg,
+		trace:       trace,
+		mig:         migration.NewMetrics(reg),
+		vmsCreated:  reg.Counter("spotcheck_vms_created_total"),
+		vmsReleased: reg.Counter("spotcheck_vms_released_total"),
+		migStarted:  map[migrationReason]*obs.Counter{},
+		migAborted:  reg.Counter("spotcheck_migrations_aborted_total"),
+		revocations: reg.Counter("spotcheck_revocation_warnings_total"),
+		stateLost:   reg.Counter("spotcheck_vms_lost_memory_state_total"),
+		destFails:   reg.Counter("spotcheck_destination_failures_total"),
+		predictive:  reg.Counter("spotcheck_predictive_migrations_total"),
+		predMisses:  reg.Counter("spotcheck_predictive_misses_total"),
+		sliced:      reg.Counter("spotcheck_hosts_sliced_total"),
+		monitorTick: reg.Counter("spotcheck_monitor_ticks_total"),
+		stormVMs:    reg.Histogram("spotcheck_revocation_batch_vms", obs.CountBuckets),
+
+		hostsAcquired: map[PoolKey]*obs.Counter{},
+		spotRequests:  map[PoolKey]*obs.Counter{},
+		poolBid:       map[PoolKey]*obs.Gauge{},
+		poolHosts:     map[PoolKey]*obs.Gauge{},
+		poolVMs:       map[PoolKey]*obs.Gauge{},
+	}
+	for _, r := range []migrationReason{reasonRevocation, reasonProactive, reasonReturn, reasonStagingHop} {
+		m.migStarted[r] = reg.Counter("spotcheck_migrations_started_total", obs.L("reason", r.String()))
+	}
+	reg.Describe("spotcheck_vms_created_total", "Nested VMs requested by customers.")
+	reg.Describe("spotcheck_vms_released_total", "Nested VMs released by customers.")
+	reg.Describe("spotcheck_migrations_started_total", "Nested VM migrations begun, by reason.")
+	reg.Describe("spotcheck_migrations_aborted_total", "Return migrations abandoned before any copy.")
+	reg.Describe("spotcheck_revocation_warnings_total", "Per-VM revocation warnings received.")
+	reg.Describe("spotcheck_vms_lost_memory_state_total", "VMs whose memory state was lost (live overrun or predictive miss).")
+	reg.Describe("spotcheck_destination_failures_total", "Failed destination/host acquisitions.")
+	reg.Describe("spotcheck_predictive_migrations_total", "Trend-triggered predictive evacuations.")
+	reg.Describe("spotcheck_predictive_misses_total", "Predictive evacuations whose source was revoked mid-copy.")
+	reg.Describe("spotcheck_hosts_sliced_total", "Acquired hosts sliced into multiple nested VM slots.")
+	reg.Describe("spotcheck_monitor_ticks_total", "Controller monitor loop iterations.")
+	reg.Describe("spotcheck_revocation_batch_vms", "Running VMs displaced per revocation batch (Table 3 storms).")
+	reg.Describe("spotcheck_hosts_acquired_total", "Native hosts acquired, by pool.")
+	reg.Describe("spotcheck_spot_requests_total", "Spot bids placed, by pool.")
+	reg.Describe("spotcheck_pool_bid_usd", "Current spot bid, by pool.")
+	reg.Describe("spotcheck_pool_hosts", "Native hosts currently in the pool.")
+	reg.Describe("spotcheck_pool_vms", "Nested VMs currently hosted in the pool.")
+	return m
+}
+
+func poolLabel(key PoolKey) obs.Label { return obs.L("pool", key.String()) }
+
+func (m *coreMetrics) hostAcquired(key PoolKey) {
+	ctr := m.hostsAcquired[key]
+	if ctr == nil {
+		ctr = m.reg.Counter("spotcheck_hosts_acquired_total", poolLabel(key))
+		m.hostsAcquired[key] = ctr
+	}
+	ctr.Inc()
+}
+
+func (m *coreMetrics) bidPlaced(key PoolKey, bid float64) {
+	ctr := m.spotRequests[key]
+	if ctr == nil {
+		ctr = m.reg.Counter("spotcheck_spot_requests_total", poolLabel(key))
+		m.spotRequests[key] = ctr
+	}
+	ctr.Inc()
+	g := m.poolBid[key]
+	if g == nil {
+		g = m.reg.Gauge("spotcheck_pool_bid_usd", poolLabel(key))
+		m.poolBid[key] = g
+	}
+	g.Set(bid)
+}
+
+// syncPool refreshes a pool's occupancy gauges from its current state.
+func (m *coreMetrics) syncPool(pool *poolState) {
+	hg := m.poolHosts[pool.key]
+	if hg == nil {
+		hg = m.reg.Gauge("spotcheck_pool_hosts", poolLabel(pool.key))
+		m.poolHosts[pool.key] = hg
+	}
+	vg := m.poolVMs[pool.key]
+	if vg == nil {
+		vg = m.reg.Gauge("spotcheck_pool_vms", poolLabel(pool.key))
+		m.poolVMs[pool.key] = vg
+	}
+	vms := 0
+	for _, h := range pool.hosts {
+		vms += len(h.vms)
+	}
+	hg.Set(float64(len(pool.hosts)))
+	vg.Set(float64(vms))
+}
+
+// syncPoolOf refreshes the gauges of the pool a host belongs to.
+func (c *Controller) syncPoolOf(h *hostState) {
+	if h == nil || h.role != roleHost {
+		return
+	}
+	if pool := c.pools[h.key]; pool != nil {
+		c.met.syncPool(pool)
+	}
+}
+
+// traceEvent appends a structured event to the shared trace ring.
+func (c *Controller) traceEvent(scope, subject, kind, format string, args ...any) {
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	c.met.trace.Add(obs.TraceEvent{
+		At: c.sched.Now(), Scope: scope, Subject: subject, Kind: kind, Detail: detail,
+	})
+}
+
+// Stats derives the controller counters from the metrics registry, keeping
+// the historical ControllerStats shape. Counter increments are exact in
+// float64 far beyond any simulated event count, so the int conversions are
+// lossless.
+func (c *Controller) Stats() ControllerStats {
+	m := c.met
+	started := func(r migrationReason) float64 { return m.migStarted[r].Value() }
+	aborted := m.migAborted.Value()
+	total := started(reasonRevocation) + started(reasonProactive) +
+		started(reasonReturn) + started(reasonStagingHop)
+	return ControllerStats{
+		VMsCreated:           int(m.vmsCreated.Value()),
+		VMsReleased:          int(m.vmsReleased.Value()),
+		Migrations:           int(total - aborted),
+		Revocations:          int(m.revocations.Value()),
+		ProactiveMigrations:  int(started(reasonProactive)),
+		ReturnMigrations:     int(started(reasonReturn) - aborted),
+		StagingMigrations:    int(started(reasonStagingHop)),
+		VMsLostMemoryState:   int(m.stateLost.Value()),
+		HostsAcquired:        int(m.reg.Total("spotcheck_hosts_acquired_total")),
+		SlicedHosts:          int(m.sliced.Value()),
+		DestinationFailures:  int(m.destFails.Value()),
+		PredictiveMigrations: int(m.predictive.Value()),
+		PredictiveMisses:     int(m.predMisses.Value()),
+	}
+}
+
+// Metrics exposes the controller's registry (its own when none was given).
+func (c *Controller) Metrics() *obs.Registry { return c.met.reg }
+
+// Trace exposes the controller's event-trace ring.
+func (c *Controller) Trace() *obs.Trace { return c.met.trace }

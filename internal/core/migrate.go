@@ -72,7 +72,7 @@ func (c *Controller) onRevocationWarning(w cloud.RevocationWarning) {
 			continue
 		}
 		vs.vm.Revocations++
-		c.stats.Revocations++
+		c.met.revocations.Inc()
 		c.record(vs.vm.ID, EventWarned, "host %s revoked (price %v), %v to deadline", h.inst.ID, w.Price, w.Deadline-c.sched.Now())
 		c.migrateVM(vs, reasonRevocation, w.Deadline)
 	}
@@ -91,6 +91,15 @@ func (c *Controller) recordStorm(key PoolKey, vms int) {
 		}
 	}
 	c.storms = append(c.storms, StormEvent{At: now, Pool: key, VMs: vms})
+	// Warnings later in this same instant merge into the storm above, so
+	// defer the observation until the instant's event cascade completes
+	// (same-time events fire in insertion order) to see the final size.
+	idx := len(c.storms) - 1
+	c.sched.After(0, "storm-observe", func() {
+		s := c.storms[idx]
+		c.met.stormVMs.Observe(float64(s.VMs))
+		c.traceEvent("pool", s.Pool.String(), "revocation-batch", "%d VMs displaced", s.VMs)
+	})
 }
 
 // migrateVM starts moving a nested VM off its current host. deadline is
@@ -105,7 +114,8 @@ func (c *Controller) migrateVM(vs *vmState, reason migrationReason, deadline sim
 	}
 	vs.phase = phaseMigrating
 	vs.vm.Migrations++
-	c.stats.Migrations++
+	c.met.migStarted[reason].Inc()
+	c.traceEvent("vm", string(vs.vm.ID), "migration-start", "reason=%s host=%s", reason, src.inst.ID)
 	c.endLazyWindow(vs)
 	switch reason {
 	case reasonRevocation:
@@ -118,16 +128,13 @@ func (c *Controller) migrateVM(vs *vmState, reason migrationReason, deadline sim
 			c.runLiveEvacuation(vs, src, deadline, false)
 		}
 	case reasonProactive:
-		c.stats.ProactiveMigrations++
 		c.runLiveEvacuation(vs, src, 0, false)
 	case reasonReturn:
 		// Returns are committed by tryReturn, which validates the target
 		// market before calling migrateVM; by the time we get here the
 		// move is definitely happening.
-		c.stats.ReturnMigrations++
 		c.runLiveReturn(vs, src)
 	case reasonStagingHop:
-		c.stats.StagingMigrations++
 		c.runLiveEvacuation(vs, src, 0, true)
 	}
 }
@@ -176,6 +183,7 @@ func (c *Controller) runBoundedMigration(vs *vmState, src *hostState, deadline s
 		// Mis-configuration; treat as an immediate pause of the bound.
 		flush = migration.FlushResult{Downtime: c.cfg.Bound, Total: c.cfg.Bound, Completed: true}
 	}
+	c.met.mig.RecordFlush(cp.ResidueMB(), flush)
 
 	var destHost *hostState
 	var stagedHop bool
@@ -276,8 +284,11 @@ func (c *Controller) runStatelessMigration(vs *vmState, src *hostState, deadline
 func (c *Controller) chooseDestinationRetry(vs *vmState, forceOD bool, ok func(*hostState, bool)) {
 	c.chooseDestination(vs, forceOD, func(h *hostState, staged bool, err error) {
 		if err != nil {
-			c.stats.DestinationFailures++
+			c.met.destFails.Inc()
 			c.sched.After(c.cfg.MonitorInterval, "dest-retry "+string(vs.vm.ID), func() {
+				if c.shutdown {
+					return
+				}
 				c.chooseDestinationRetry(vs, forceOD, ok)
 			})
 			return
@@ -404,6 +415,7 @@ func (c *Controller) restoreOnDestination(vs *vmState, src, dst *hostState, stag
 	if err != nil {
 		res = migration.RestoreResult{Downtime: simkit.Second}
 	}
+	c.met.mig.RecordRestore(mech.Lazy(), res)
 	c.sched.After(res.Downtime, "restore "+string(vm.ID), func() {
 		c.completeMove(vs, src, dst)
 		if mech.Lazy() && res.DegradedTime > 0 && vs.phase == phaseRunning {
@@ -448,7 +460,7 @@ func (c *Controller) completeMove(vs *vmState, src, dst *hostState) {
 		vm.Ledger.Set(nestedvm.CondDown, now)
 		withBackup := c.cfg.Mechanism.UsesBackup() && !vs.stateless
 		if !withBackup && !vs.stateless {
-			c.stats.VMsLostMemoryState++
+			c.met.stateLost.Inc()
 			c.record(vm.ID, EventStateLost, "destination %s died mid-migration", dst.inst.ID)
 		}
 		c.maybeRetireHost(src)
@@ -468,6 +480,8 @@ func (c *Controller) completeMove(vs *vmState, src, dst *hostState) {
 	vm.Host = dst.inst.ID
 	vs.phase = phaseRunning
 	vm.Ledger.Set(nestedvm.CondNormal, c.sched.Now())
+	c.syncPoolOf(src)
+	c.syncPoolOf(dst)
 	kind := EventMigrated
 	if dst.key.Market == cloud.MarketSpot {
 		kind = EventReturned
@@ -495,7 +509,7 @@ func (c *Controller) completeMove(vs *vmState, src, dst *hostState) {
 			deadline = c.sched.Now() + simkit.Second
 		}
 		vm.Revocations++
-		c.stats.Revocations++
+		c.met.revocations.Inc()
 		c.record(vm.ID, EventWarned, "landed on already-warned host %s", dst.inst.ID)
 		c.migrateVM(vs, reasonRevocation, deadline)
 	}
@@ -515,6 +529,7 @@ func (c *Controller) runLiveEvacuation(vs *vmState, src *hostState, deadline sim
 	if err != nil {
 		live = migration.LiveResult{Total: simkit.Minute, Downtime: simkit.Second, Converged: true}
 	}
+	c.met.mig.RecordLive(live)
 	start := c.sched.Now()
 	c.chooseDestinationRetry(vs, forceOD, func(dst *hostState, _ bool) {
 		now := c.sched.Now()
@@ -538,7 +553,7 @@ func (c *Controller) runLiveEvacuation(vs *vmState, src *hostState, deadline sim
 				// mid-copy and the platform force-terminated it before
 				// the pre-copy finished (the misprediction risk of §3.2).
 				if deadline == 0 && src.inst.State == cloud.StateTerminated {
-					c.stats.PredictiveMisses++
+					c.met.predMisses.Inc()
 					vm.Ledger.Set(nestedvm.CondDown, c.sched.Now())
 					if c.cfg.Mechanism.UsesBackup() && !vs.stateless {
 						// Continuous checkpointing saves the day: restore
@@ -547,7 +562,7 @@ func (c *Controller) runLiveEvacuation(vs *vmState, src *hostState, deadline sim
 						return
 					}
 					// No checkpoint: memory state is gone; reboot.
-					c.stats.VMsLostMemoryState++
+					c.met.stateLost.Inc()
 					c.record(vm.ID, EventStateLost, "predictive miss with no backup server")
 					c.sched.After(simkit.Seconds(c.cfg.RebootSeconds), "reboot "+string(vm.ID), func() {
 						c.moveLive(vs, src, dst)
@@ -560,7 +575,7 @@ func (c *Controller) runLiveEvacuation(vs *vmState, src *hostState, deadline sim
 		}
 		// Lost: the platform killed the source mid-copy. Memory state is
 		// gone; the VM reboots from its network volume on the destination.
-		c.stats.VMsLostMemoryState++
+		c.met.stateLost.Inc()
 		c.record(vm.ID, EventStateLost, "live migration exceeded the warning window")
 		downAt := deadline
 		if downAt < now {
@@ -622,10 +637,12 @@ func (c *Controller) runLiveReturn(vs *vmState, src *hostState) {
 	abort := func() {
 		// Spot became unavailable again between the calm check and the
 		// acquisition; stay on-demand and undo the migration bookkeeping.
+		// The registry counter stays monotonic: the start remains counted
+		// and the abort is counted separately; Stats() nets them out.
 		vs.phase = phaseRunning
 		vm.Migrations--
-		c.stats.Migrations--
-		c.stats.ReturnMigrations--
+		c.met.migAborted.Inc()
+		c.traceEvent("vm", string(vm.ID), "migration-abort", "spot target vanished; staying on-demand")
 		if vm.Ledger.Condition() != nestedvm.CondNormal {
 			vm.Ledger.Set(nestedvm.CondNormal, c.sched.Now())
 		}
@@ -649,6 +666,7 @@ func (c *Controller) runLiveReturn(vs *vmState, src *hostState) {
 			abort()
 			return
 		}
+		c.met.mig.RecordLive(live)
 		now := c.sched.Now()
 		copyDone := start + live.Total
 		if now > copyDone {

@@ -19,6 +19,11 @@ func (c *Controller) startMonitor() {
 	c.prevPrice = map[spotmarket.MarketKey]cloud.USD{}
 	var tick func()
 	tick = func() {
+		c.monitorEvent = nil
+		if c.shutdown {
+			return
+		}
+		c.met.monitorTick.Inc()
 		prev := c.snapshotPrices()
 		c.observePrices()
 		if c.cfg.Bidding.Proactive() {
@@ -28,9 +33,17 @@ func (c *Controller) startMonitor() {
 			c.predictiveSweep(prev)
 		}
 		c.returnSweep()
-		c.sched.After(c.cfg.MonitorInterval, "monitor", tick)
+		c.monitorEvent = c.sched.After(c.cfg.MonitorInterval, "monitor", tick)
 	}
-	c.sched.After(c.cfg.MonitorInterval, "monitor", tick)
+	c.monitorEvent = c.sched.After(c.cfg.MonitorInterval, "monitor", tick)
+}
+
+// stopMonitor cancels the pending monitor tick (idempotent).
+func (c *Controller) stopMonitor() {
+	if c.monitorEvent != nil {
+		c.sched.Cancel(c.monitorEvent)
+		c.monitorEvent = nil
+	}
 }
 
 // snapshotPrices copies the previous tick's samples before they are
@@ -143,7 +156,7 @@ func (c *Controller) predictiveSweep(prev map[spotmarket.MarketKey]cloud.USD) {
 			}
 			for _, vs := range hostVMsSorted(h) {
 				if vs.phase == phaseRunning {
-					c.stats.PredictiveMigrations++
+					c.met.predictive.Inc()
 					c.migrateVM(vs, reasonProactive, 0)
 				}
 			}

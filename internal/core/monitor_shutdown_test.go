@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/simkit"
+)
+
+// TestShutdownStopsMonitor pins the monitor's cancel path: Shutdown must
+// cancel the pending tick and stop the loop rescheduling itself. Before the
+// fix the monitor self-scheduled forever, so a post-Shutdown Run(limit)
+// never drained.
+func TestShutdownStopsMonitor(t *testing.T) {
+	r := newRig(t, nil, nil)
+	r.request(t, "alice")
+	r.run(t, 30*simkit.Minute)
+
+	ticksBefore := r.ctrl.met.monitorTick.Value()
+	if ticksBefore == 0 {
+		t.Fatal("monitor never ticked before shutdown")
+	}
+	r.ctrl.Shutdown()
+	if r.ctrl.monitorEvent != nil {
+		t.Error("Shutdown left a monitor tick pending")
+	}
+	// Drain everything left in the queue. With the monitor still
+	// rescheduling, this would exceed the event limit and panic.
+	r.sched.Run(100_000)
+	if r.sched.Pending() != 0 {
+		t.Errorf("queue not drained after shutdown: %d events pending", r.sched.Pending())
+	}
+	if got := r.ctrl.met.monitorTick.Value(); got != ticksBefore {
+		t.Errorf("monitor ticked %v times after shutdown", got-ticksBefore)
+	}
+}
+
+// TestShutdownIsIdempotent double-Shutdown must not panic or double-cancel.
+func TestShutdownIsIdempotent(t *testing.T) {
+	r := newRig(t, nil, nil)
+	r.request(t, "bob")
+	r.run(t, 10*simkit.Minute)
+	r.ctrl.Shutdown()
+	r.ctrl.Shutdown()
+	r.sched.Run(100_000)
+}

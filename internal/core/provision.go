@@ -52,7 +52,7 @@ func (c *Controller) RequestServerWithOptions(opts ServerOptions) (nestedvm.ID, 
 	}
 	vs := &vmState{vm: vm, phase: phaseProvisioning, workload: c.cfg.Workload, stateless: opts.Stateless}
 	c.vms[id] = vs
-	c.stats.VMsCreated++
+	c.met.vmsCreated.Inc()
 	c.record(id, EventRequested, "%s requested a %s (stateless=%v)", opts.Customer, opts.Type, opts.Stateless)
 	c.placeNew(vs, 0)
 	return id, nil
@@ -70,7 +70,7 @@ func (c *Controller) placeNew(vs *vmState, attempts int) {
 			vs.vm.Type, vs, func(h *hostState, err error) {
 				if err != nil {
 					// Nothing left to try; park and retry placement later.
-					c.stats.DestinationFailures++
+					c.met.destFails.Inc()
 					c.sched.After(c.cfg.MonitorInterval, "replace "+string(vs.vm.ID), func() {
 						c.placeNew(vs, 0)
 					})
@@ -168,9 +168,11 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 		c.hosts[inst.ID] = h
 		pool.hosts[inst.ID] = h
 		c.rentals = append(c.rentals, rental{id: inst.ID, kind: rentalHost})
-		c.stats.HostsAcquired++
+		c.met.hostAcquired(key)
+		c.met.syncPool(pool)
+		c.traceEvent("host", string(inst.ID), "acquired", "pool=%s capacity=%d", key, acq.capacity)
 		if acq.capacity > 1 {
-			c.stats.SlicedHosts++
+			c.met.sliced.Inc()
 		}
 		for _, w := range acq.waiters {
 			h.reserved++
@@ -187,6 +189,8 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 		}
 		bid := c.cfg.Bidding.Bid(od)
 		pool.bid = bid
+		c.met.bidPlaced(key, float64(bid))
+		c.traceEvent("market", key.String(), "bid", "bid=%v od=%v", bid, od)
 		c.prov.RequestSpot(key.Type, key.Zone, bid, finish)
 	case cloud.MarketOnDemand:
 		c.prov.RunOnDemand(key.Type, key.Zone, finish)
@@ -302,7 +306,7 @@ func (c *Controller) abortInstall(vs *vmState, h *hostState, err error) {
 	}
 	if !errors.Is(err, cloud.ErrBadState) && !errors.Is(err, cloud.ErrCapacity) {
 		// Unexpected failures still retry, but are counted.
-		c.stats.DestinationFailures++
+		c.met.destFails.Inc()
 	}
 	c.sched.After(c.cfg.MonitorInterval, "re-place "+string(vs.vm.ID), func() { c.placeNew(vs, 0) })
 }
@@ -320,6 +324,7 @@ func (c *Controller) startService(vs *vmState, h *hostState) {
 	vs.phase = phaseRunning
 	vm.Created = c.sched.Now()
 	vm.Ledger.Start(c.sched.Now())
+	c.syncPoolOf(h)
 	c.record(vm.ID, EventPlaced, "running on %s (%s)", h.inst.ID, h.key)
 	// Spot-hosted VMs under a backup-using mechanism continuously
 	// checkpoint to a backup server; on-demand hosts rely on live
@@ -335,7 +340,7 @@ func (c *Controller) startService(vs *vmState, h *hostState) {
 			deadline = c.sched.Now() + simkit.Second
 		}
 		vm.Revocations++
-		c.stats.Revocations++
+		c.met.revocations.Inc()
 		c.migrateVM(vs, reasonRevocation, deadline)
 	}
 }
@@ -357,7 +362,7 @@ func (c *Controller) registerBackup(vs *vmState) {
 	if err != nil {
 		// Should not happen (pool auto-provisions); run unprotected and
 		// count it.
-		c.stats.DestinationFailures++
+		c.met.destFails.Inc()
 		return
 	}
 	vs.vm.BackupServer = srv.ID()
@@ -390,7 +395,7 @@ func (c *Controller) onBackupProvisioned(srv *backup.Server) {
 	c.prov.RunOnDemand(c.cfg.BackupType, c.cfg.BackupZone, func(inst *cloud.Instance, err error) {
 		if err != nil {
 			// Cost-accounting only; the logical backup server still works.
-			c.stats.DestinationFailures++
+			c.met.destFails.Inc()
 			return
 		}
 		h := &hostState{inst: inst, role: roleBackup, vms: map[nestedvm.ID]*vmState{}}
@@ -424,7 +429,7 @@ func (c *Controller) teardownVM(vs *vmState) {
 	wasRunning := vs.phase == phaseRunning
 	vs.phase = phaseReleased
 	vs.serviceEnd = c.sched.Now()
-	c.stats.VMsReleased++
+	c.met.vmsReleased.Inc()
 	c.record(vm.ID, EventReleased, "released by customer")
 	if wasRunning {
 		vm.Ledger.Set(nestedvm.CondNormal, c.sched.Now())
@@ -435,6 +440,7 @@ func (c *Controller) teardownVM(vs *vmState) {
 	if h != nil {
 		delete(h.vms, vm.ID)
 		vs.host = nil
+		c.syncPoolOf(h)
 		// Relinquish empty hosts to stop paying for them.
 		c.maybeRetireHost(h)
 	}
@@ -475,7 +481,9 @@ func (c *Controller) forgetHost(h *hostState) {
 	delete(c.hosts, h.inst.ID)
 	if pool := c.pools[h.key]; pool != nil {
 		delete(pool.hosts, h.inst.ID)
+		c.met.syncPool(pool)
 	}
+	c.traceEvent("host", string(h.inst.ID), "retired", "pool=%s", h.key)
 }
 
 // Shutdown drains the derivative cloud: every nested VM is released and
@@ -484,6 +492,7 @@ func (c *Controller) forgetHost(h *hostState) {
 // when decommissioning the controller; it is not required for correctness.
 func (c *Controller) Shutdown() {
 	c.shutdown = true
+	c.stopMonitor()
 	for _, id := range c.vmIDsSorted() {
 		vs := c.vms[id]
 		if vs.phase == phaseReleased {

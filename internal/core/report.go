@@ -150,7 +150,7 @@ func (c *Controller) Customers() []CustomerReport {
 // Report computes the controller's aggregate accounting as of now.
 func (c *Controller) Report() Report {
 	now := c.sched.Now()
-	r := Report{At: now, Stats: c.stats}
+	r := Report{At: now, Stats: c.Stats()}
 
 	var down, degraded simkit.Time
 	var serviceTotal simkit.Time

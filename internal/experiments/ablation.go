@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/migration"
+	"repro/internal/obs"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 )
@@ -179,8 +180,8 @@ func AblationBidding(vms int, horizon simkit.Time, seed int64) ([]BiddingAblatio
 		rows = append(rows, BiddingAblationRow{
 			Policy:            p.name,
 			CostPerHour:       res.CostPerHour(),
-			Revocations:       res.Report.Stats.Revocations,
-			Proactive:         res.Report.Stats.ProactiveMigrations,
+			Revocations:       int(res.Metric("spotcheck_revocation_warnings_total")),
+			Proactive:         int(res.MetricValue("spotcheck_migrations_started_total", obs.L("reason", "proactive"))),
 			UnavailabilityPct: res.UnavailabilityPct(),
 		})
 	}
@@ -246,7 +247,7 @@ func AblationDestination(vms int, horizon simkit.Time, seed int64) ([]Destinatio
 			Policy:            cfg.name,
 			CostPerHour:       res.CostPerHour(),
 			UnavailabilityPct: res.UnavailabilityPct(),
-			Migrations:        res.Report.Stats.Migrations,
+			Migrations:        res.Migrations(),
 			SpareCost:         float64(res.Report.SpareCost),
 		})
 	}
@@ -300,7 +301,8 @@ func AblationStateless(vms int, horizon simkit.Time, seed int64) (StatelessAblat
 		StatelessCostPerHour: stateless.CostPerHour(),
 		StatefulUnavailPct:   stateful.UnavailabilityPct(),
 		StatelessUnavailPct:  stateless.UnavailabilityPct(),
-		BackupServersSaved:   stateful.Report.BackupServers - stateless.Report.BackupServers,
+		BackupServersSaved: int(stateful.Metric("spotcheck_backup_servers") -
+			stateless.Metric("spotcheck_backup_servers")),
 	}, nil
 }
 
@@ -343,10 +345,10 @@ func AblationPredictive(vms int, horizon simkit.Time, seed int64) (PredictiveAbl
 		return PredictiveAblation{}, err
 	}
 	return PredictiveAblation{
-		OffRevocations: off.Report.Stats.Revocations,
-		OnRevocations:  on.Report.Stats.Revocations,
-		OnPredictive:   on.Report.Stats.PredictiveMigrations,
-		OnMisses:       on.Report.Stats.PredictiveMisses,
+		OffRevocations: int(off.Metric("spotcheck_revocation_warnings_total")),
+		OnRevocations:  int(on.Metric("spotcheck_revocation_warnings_total")),
+		OnPredictive:   int(on.Metric("spotcheck_predictive_migrations_total")),
+		OnMisses:       int(on.Metric("spotcheck_predictive_misses_total")),
 		OffUnavailPct:  off.UnavailabilityPct(),
 		OnUnavailPct:   on.UnavailabilityPct(),
 		OffCostPerHour: off.CostPerHour(),

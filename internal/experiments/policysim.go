@@ -8,6 +8,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/migration"
+	"repro/internal/obs"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 	"repro/internal/workload"
@@ -75,6 +76,11 @@ type PolicyRunResult struct {
 	Report    core.Report
 	VMs       int
 	Horizon   simkit.Time
+	// Snapshot is the end-of-run state of the metrics registry shared by
+	// the controller and the platform. Experiment tallies (migrations,
+	// revocations, predictive hits, backup fleet size, ...) are read from
+	// here rather than from private counters.
+	Snapshot *obs.Snapshot
 }
 
 // CostPerHour is the Figure 10 metric.
@@ -85,6 +91,30 @@ func (r PolicyRunResult) UnavailabilityPct() float64 { return 100 * (1 - r.Repor
 
 // DegradationPct is the Figure 12 metric.
 func (r PolicyRunResult) DegradationPct() float64 { return 100 * r.Report.DegradedFraction }
+
+// Metric sums the snapshot series of one metric family (0 when absent).
+func (r PolicyRunResult) Metric(name string) float64 {
+	if r.Snapshot == nil {
+		return 0
+	}
+	return r.Snapshot.Total(name)
+}
+
+// MetricValue reads one labelled series from the snapshot (0 when absent).
+func (r PolicyRunResult) MetricValue(name string, labels ...obs.Label) float64 {
+	if r.Snapshot == nil {
+		return 0
+	}
+	v, _ := r.Snapshot.Value(name, labels...)
+	return v
+}
+
+// Migrations derives completed migrations from the snapshot: every started
+// migration minus the return-path aborts that never left the source host.
+func (r PolicyRunResult) Migrations() int {
+	return int(r.Metric("spotcheck_migrations_started_total") -
+		r.Metric("spotcheck_migrations_aborted_total"))
+}
 
 // RunPolicy executes one policy × mechanism simulation.
 func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
@@ -109,11 +139,15 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		}
 	}
 	sched := simkit.NewScheduler()
+	// One registry shared by the platform and controller, so a single
+	// snapshot carries both spotcheck_* and cloudsim_* families.
+	reg := obs.NewRegistry()
 	plat, err := cloudsim.New(sched, cloudsim.Config{
 		Traces:           traces,
 		Seed:             cfg.Seed,
 		WarningWindow:    cfg.WarningWindow,
 		BillingIncrement: cfg.BillingIncrement,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return PolicyRunResult{}, err
@@ -130,6 +164,7 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		MonitorInterval: cfg.MonitorInterval,
 		Workload:        cfg.Workload,
 		Seed:            cfg.Seed,
+		Metrics:         reg,
 	})
 	if err != nil {
 		return PolicyRunResult{}, err
@@ -150,6 +185,7 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		Report:    ctrl.Report(),
 		VMs:       cfg.VMs,
 		Horizon:   cfg.Horizon,
+		Snapshot:  reg.Snapshot(),
 	}, nil
 }
 
@@ -268,6 +304,9 @@ type Headline struct {
 	Availability    float64
 	Migrations      int
 	VMsLost         int
+	// Snapshot is the run's end-of-simulation metrics state; spotsim's
+	// -metrics flag renders it as a summary table.
+	Snapshot *obs.Snapshot
 }
 
 // RunHeadline computes the headline comparison.
@@ -288,7 +327,8 @@ func RunHeadline(vms int, horizon simkit.Time, seed int64) (Headline, error) {
 		OnDemandPerHour: od,
 		Savings:         od / res.CostPerHour(),
 		Availability:    res.Report.Availability,
-		Migrations:      res.Report.Stats.Migrations,
-		VMsLost:         res.Report.Stats.VMsLostMemoryState,
+		Migrations:      res.Migrations(),
+		VMsLost:         int(res.Metric("spotcheck_vms_lost_memory_state_total")),
+		Snapshot:        res.Snapshot,
 	}, nil
 }

@@ -1,0 +1,15 @@
+// Package migration models the VM migration mechanisms SpotCheck combines
+// (§3 "SpotCheck Design"): pre-copy live migration (§3.2), bounded-time
+// migration via continuous checkpointing (Yank-style, plus SpotCheck's
+// ramped-frequency optimization of §5), and restoration — full
+// (stop-and-copy) or lazy (skeleton resume with demand paging, §3.2).
+//
+// The models are closed-form functions of memory size, dirty rate and
+// bandwidth: migration latency and downtime in the paper are first-order
+// determined by exactly these quantities (Table 1, Figures 7-9).
+//
+// Simulate* functions are pure — they take a spec and return a result
+// without touching shared state. The controller records their outcomes
+// into an obs.Registry via the Metrics adapter in metrics.go, which keeps
+// the mechanism models reusable outside a simulation loop.
+package migration

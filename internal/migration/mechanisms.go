@@ -1,12 +1,3 @@
-// Package migration models the VM migration mechanisms SpotCheck combines
-// (§3): pre-copy live migration, bounded-time migration via continuous
-// checkpointing (Yank-style, plus SpotCheck's ramped-frequency
-// optimization), and restoration — full (stop-and-copy) or lazy (skeleton
-// resume with demand paging).
-//
-// The models are closed-form functions of memory size, dirty rate and
-// bandwidth: migration latency and downtime in the paper are first-order
-// determined by exactly these quantities.
 package migration
 
 import (

@@ -1,0 +1,86 @@
+package migration
+
+import "repro/internal/obs"
+
+// Metrics records the outcomes of simulated migration mechanisms into an
+// obs.Registry. The Simulate* functions stay pure; callers (the controller)
+// record each result at the point in virtual time where it takes effect.
+// A nil *Metrics is valid and records nothing.
+type Metrics struct {
+	precopyRounds   *obs.Histogram
+	liveDowntime    *obs.Histogram
+	liveTransferMB  *obs.Histogram
+	liveDiverged    *obs.Counter
+	flushResidueMB  *obs.Histogram
+	flushDowntime   *obs.Histogram
+	flushDegraded   *obs.Histogram
+	restoreDowntime *obs.Histogram
+	restoreDegraded *obs.Histogram
+	restores        *obs.Counter
+	lazyRestores    *obs.Counter
+}
+
+// NewMetrics registers the migration instrument families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		precopyRounds:   reg.Histogram("spotcheck_live_precopy_rounds", obs.CountBuckets),
+		liveDowntime:    reg.Histogram("spotcheck_live_downtime_seconds", obs.DurationBuckets),
+		liveTransferMB:  reg.Histogram("spotcheck_live_transferred_mb", obs.SizeMBBuckets),
+		liveDiverged:    reg.Counter("spotcheck_live_diverged_total"),
+		flushResidueMB:  reg.Histogram("spotcheck_flush_residue_mb", obs.SizeMBBuckets),
+		flushDowntime:   reg.Histogram("spotcheck_flush_downtime_seconds", obs.DurationBuckets),
+		flushDegraded:   reg.Histogram("spotcheck_flush_degraded_seconds", obs.DurationBuckets),
+		restoreDowntime: reg.Histogram("spotcheck_restore_downtime_seconds", obs.DurationBuckets),
+		restoreDegraded: reg.Histogram("spotcheck_restore_degraded_seconds", obs.DurationBuckets),
+		restores:        reg.Counter("spotcheck_restores_total", obs.L("mode", "full")),
+		lazyRestores:    reg.Counter("spotcheck_restores_total", obs.L("mode", "lazy")),
+	}
+	reg.Describe("spotcheck_live_precopy_rounds", "Pre-copy iterations per live migration.")
+	reg.Describe("spotcheck_live_downtime_seconds", "Stop-and-copy downtime of live migrations.")
+	reg.Describe("spotcheck_live_transferred_mb", "Total memory transferred per live migration.")
+	reg.Describe("spotcheck_live_diverged_total", "Live migrations whose pre-copy failed to converge.")
+	reg.Describe("spotcheck_flush_residue_mb", "Dirty-page residue flushed within the migration bound.")
+	reg.Describe("spotcheck_flush_downtime_seconds", "Pause time of bounded checkpoint flushes.")
+	reg.Describe("spotcheck_flush_degraded_seconds", "Degraded (ramped-checkpointing) time per bounded flush.")
+	reg.Describe("spotcheck_restore_downtime_seconds", "Downtime of restorations from backup servers.")
+	reg.Describe("spotcheck_restore_degraded_seconds", "Demand-paging/prefetch time of lazy restorations.")
+	reg.Describe("spotcheck_restores_total", "Restorations from backup servers by mode.")
+	return m
+}
+
+// RecordLive records one live migration outcome.
+func (m *Metrics) RecordLive(res LiveResult) {
+	if m == nil {
+		return
+	}
+	m.precopyRounds.Observe(float64(res.Rounds))
+	m.liveDowntime.Observe(res.Downtime.Seconds())
+	m.liveTransferMB.Observe(res.TransferredMB)
+	if !res.Converged {
+		m.liveDiverged.Inc()
+	}
+}
+
+// RecordFlush records one bounded checkpoint flush and its dirty residue.
+func (m *Metrics) RecordFlush(residueMB float64, res FlushResult) {
+	if m == nil {
+		return
+	}
+	m.flushResidueMB.Observe(residueMB)
+	m.flushDowntime.Observe(res.Downtime.Seconds())
+	m.flushDegraded.Observe(res.DegradedTime.Seconds())
+}
+
+// RecordRestore records one restoration from a backup server.
+func (m *Metrics) RecordRestore(lazy bool, res RestoreResult) {
+	if m == nil {
+		return
+	}
+	m.restoreDowntime.Observe(res.Downtime.Seconds())
+	if lazy {
+		m.restoreDegraded.Observe(res.DegradedTime.Seconds())
+		m.lazyRestores.Inc()
+	} else {
+		m.restores.Inc()
+	}
+}

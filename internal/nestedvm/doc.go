@@ -1,0 +1,7 @@
+// Package nestedvm models the customer-visible unit of SpotCheck: a nested
+// VM running under the nested hypervisor on a rented native server (§3.1
+// "Nested Virtualization" — the paper uses an efficient usermode version of
+// Xen). It tracks each VM's memory behaviour (which drives migration cost,
+// §3.2) and a per-VM availability ledger (which drives the paper's
+// availability and performance-degradation results, Figures 11 and 12).
+package nestedvm

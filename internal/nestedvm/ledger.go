@@ -1,8 +1,3 @@
-// Package nestedvm models the customer-visible unit of SpotCheck: a nested
-// VM running under the nested hypervisor on a rented native server. It
-// tracks each VM's memory behaviour (which drives migration cost) and a
-// per-VM availability ledger (which drives the paper's availability and
-// performance-degradation results).
 package nestedvm
 
 import (

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): # HELP / # TYPE headers per family, one line per series,
+// histograms as cumulative <name>_bucket{le="..."} series plus _sum and
+// _count. Families appear in registration order, series in label order, so
+// successive scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var last string
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if m.Name != last {
+			last = m.Name
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *Metric) error {
+	switch m.Kind {
+	case KindHistogram:
+		// Prometheus bucket counts are cumulative and end at le="+Inf".
+		var cum uint64
+		for i, c := range m.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(m.Bounds) {
+				le = formatValue(m.Bounds[i])
+			}
+			labels := append(append([]Label(nil), m.Labels...), Label{Key: "le", Value: le})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(labels), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(m.Labels), formatValue(m.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels), m.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(m.Labels), formatValue(m.Value))
+		return err
+	}
+}
+
+// promLabels renders {k="v",...} with Prometheus escaping, or "".
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

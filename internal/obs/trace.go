@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/simkit"
+)
+
+// TraceEvent is one structured entry in the event-trace ring: what happened
+// (Kind), to whom (Scope + Subject) and when (virtual time At). Seq is a
+// monotonic sequence number assigned at append time, so consumers can
+// detect gaps left by ring overwrites.
+type TraceEvent struct {
+	Seq     uint64      `json:"seq"`
+	At      simkit.Time `json:"at"`
+	Scope   string      `json:"scope"`   // "vm", "host", "pool", "market"
+	Subject string      `json:"subject"` // the entity's id
+	Kind    string      `json:"kind"`    // e.g. "warned", "migrated", "flush-pause"
+	Detail  string      `json:"detail,omitempty"`
+}
+
+// Trace is a fixed-capacity ring buffer of TraceEvents. Appends overwrite
+// the oldest entries once full; Dropped reports how many were lost. All
+// methods are safe for concurrent use.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	start int    // index of the oldest entry
+	n     int    // live entries
+	seq   uint64 // next sequence number
+}
+
+// DefaultTraceCap bounds trace memory when callers don't choose a size.
+const DefaultTraceCap = 4096
+
+// NewTrace returns a ring holding the last capacity events (DefaultTraceCap
+// when capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]TraceEvent, capacity)}
+}
+
+// Add appends an event, stamping its sequence number, and returns that
+// sequence number.
+func (t *Trace) Add(ev TraceEvent) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev.Seq = t.seq
+	t.seq++
+	i := (t.start + t.n) % len(t.buf)
+	t.buf[i] = ev
+	if t.n < len(t.buf) {
+		t.n++
+	} else {
+		t.start = (t.start + 1) % len(t.buf) // overwrote the oldest
+	}
+	return ev.Seq
+}
+
+// Events returns the retained events oldest-first.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Len reports retained events; Cap the ring capacity.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Cap reports the ring capacity.
+func (t *Trace) Cap() int { return len(t.buf) }
+
+// Total reports how many events were ever appended.
+func (t *Trace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq - uint64(t.n)
+}

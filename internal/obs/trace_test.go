@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/simkit"
+)
+
+func TestTraceBasics(t *testing.T) {
+	tr := NewTrace(4)
+	if tr.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", tr.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		seq := tr.Add(TraceEvent{At: simkit.Time(i), Scope: "vm", Subject: "v1", Kind: "tick"})
+		if seq != uint64(i) {
+			t.Errorf("Add #%d returned seq %d", i, seq)
+		}
+	}
+	if tr.Len() != 3 || tr.Total() != 3 || tr.Dropped() != 0 {
+		t.Errorf("Len/Total/Dropped = %d/%d/%d, want 3/3/0", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) || ev.At != simkit.Time(i) {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+// TestTraceWraparound drives the ring past capacity and checks that the
+// oldest events fall out while sequence numbers stay continuous.
+func TestTraceWraparound(t *testing.T) {
+	tests := []struct {
+		name      string
+		capacity  int
+		adds      int
+		wantLen   int
+		wantDrop  uint64
+		wantFirst uint64 // Seq of the oldest retained event
+	}{
+		{"exactly full", 4, 4, 4, 0, 0},
+		{"one past", 4, 5, 4, 1, 1},
+		{"many wraps", 4, 11, 4, 7, 7},
+		{"capacity one", 1, 3, 1, 2, 2},
+		{"default capacity", 0, 2, 2, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := NewTrace(tt.capacity)
+			for i := 0; i < tt.adds; i++ {
+				tr.Add(TraceEvent{At: simkit.Time(i), Kind: "k"})
+			}
+			if tr.Len() != tt.wantLen {
+				t.Errorf("Len = %d, want %d", tr.Len(), tt.wantLen)
+			}
+			if tr.Total() != uint64(tt.adds) {
+				t.Errorf("Total = %d, want %d", tr.Total(), tt.adds)
+			}
+			if tr.Dropped() != tt.wantDrop {
+				t.Errorf("Dropped = %d, want %d", tr.Dropped(), tt.wantDrop)
+			}
+			evs := tr.Events()
+			if len(evs) != tt.wantLen {
+				t.Fatalf("Events len = %d, want %d", len(evs), tt.wantLen)
+			}
+			for i, ev := range evs {
+				want := tt.wantFirst + uint64(i)
+				if ev.Seq != want {
+					t.Errorf("event %d Seq = %d, want %d (oldest-first, gap-free)", i, ev.Seq, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				tr.Add(TraceEvent{Kind: "k"})
+				if i%50 == 0 {
+					_ = tr.Events()
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if tr.Total() != 2000 || tr.Len() != 64 {
+		t.Errorf("Total/Len = %d/%d, want 2000/64", tr.Total(), tr.Len())
+	}
+}

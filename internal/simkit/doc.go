@@ -1,0 +1,9 @@
+// Package simkit provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event scheduler, and seeded random distributions.
+//
+// All SpotCheck substrates (the simulated IaaS platform, the spot market,
+// backup servers, migrations) advance on a single simkit.Scheduler, so the
+// multi-month policy simulations behind the paper's §6 evaluation (Figures
+// 10-12, Table 3) run deterministically in milliseconds of real time, and
+// any run reproduces exactly from its seed.
+package simkit

@@ -1,10 +1,3 @@
-// Package simkit provides a deterministic discrete-event simulation kernel:
-// a virtual clock, an event scheduler, and seeded random distributions.
-//
-// All SpotCheck substrates (the simulated IaaS platform, the spot market,
-// backup servers, migrations) advance on a single simkit.Scheduler so an
-// entire multi-month policy simulation runs deterministically in
-// milliseconds of real time.
 package simkit
 
 import (

@@ -1,0 +1,18 @@
+// Package workload provides analytic models of the two benchmarks the paper
+// evaluates with (§6 "Experimental Evaluation") — TPC-W (an interactive
+// multi-tier web application, measured by response time) and SPECjbb2005 (a
+// server-side three-tier emulation, measured by throughput in business
+// operations per second).
+//
+// The evaluation uses these applications as *sensors* of SpotCheck's
+// overheads: continuous checkpointing overhead, backup-server saturation,
+// and lazy-restoration page faulting. The models reproduce the calibration
+// points the paper reports:
+//
+//   - TPC-W: 29 ms baseline response time; +15% with checkpointing to a
+//     dedicated backup server; ~+30% more once a backup server multiplexes
+//     beyond ~35 VMs; ~60 ms during a lazy restoration (Figures 7 and 9).
+//   - SPECjbb: ~10,500 bops baseline; no noticeable degradation from
+//     checkpointing alone; throughput declines past ~35 VMs per backup
+//     server by roughly 30% at 50 VMs (Figure 7).
+package workload
