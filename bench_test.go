@@ -203,6 +203,52 @@ func BenchmarkTable3RevocationStorms(b *testing.B) {
 	b.ReportMetric(pFull, "1pool-P(N)/hr")
 }
 
+// --- Sweep engine benches ---
+
+// matrixSpecs rebuilds the Figure 10-12 policy × mechanism sweep at bench
+// scale, for driving the sweep engine with explicit options.
+func matrixSpecs() []experiments.RunSpec {
+	var specs []experiments.RunSpec
+	for _, pol := range experiments.NamedPolicyFactories() {
+		for _, mech := range experiments.FigureMechanisms() {
+			specs = append(specs, experiments.RunSpec{
+				ID: pol.Name + "/" + mech.String(),
+				Cfg: experiments.PolicyRunConfig{
+					Policy:    pol,
+					Mechanism: mech,
+					VMs:       benchVMs,
+					Horizon:   benchHorizon,
+					Seed:      benchSeed,
+				},
+			})
+		}
+	}
+	return specs
+}
+
+// BenchmarkPolicyMatrixSequential is the pre-engine baseline: one worker,
+// and every cell regenerates the default trace set itself (the behaviour
+// PolicyMatrix had before the sweep engine).
+func BenchmarkPolicyMatrixSequential(b *testing.B) {
+	specs := matrixSpecs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sweep(specs, experiments.SweepOptions{Workers: 1, PerRunTraces: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyMatrixParallel runs the same 20 cells through the engine
+// with default workers (GOMAXPROCS) and the shared per-(horizon, seed)
+// trace set. The output matrix is identical to the sequential run.
+func BenchmarkPolicyMatrixParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PolicyMatrix(benchVMs, benchHorizon, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHeadline regenerates the abstract's headline numbers: ~5x cost
 // savings at ~five nines of availability.
 func BenchmarkHeadline(b *testing.B) {

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations] [-metrics] [-vms 40] [-months 6] [-seed 42]
+//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N]
+//
+// The simulations in a batch are fully independent, so spotsim fans them
+// out across the experiments sweep engine; -parallel bounds the worker
+// count (0, the default, means GOMAXPROCS; 1 forces sequential execution).
+// The output is identical for a fixed seed regardless of the worker count.
 //
 // The -metrics flag additionally prints the headline simulation's
 // end-of-run observability snapshot (every spotcheck_* and cloudsim_*
@@ -28,15 +33,32 @@ func main() {
 	vms := flag.Int("vms", 40, "nested VM fleet size")
 	months := flag.Float64("months", 6, "simulation horizon in months")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *vms, *months, *seed, *metrics); err != nil {
+	if err := run(os.Stdout, *exp, *vms, *months, *seed, *metrics, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "spotsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics bool) error {
+// knownExperiments are the accepted -exp values.
+var knownExperiments = map[string]bool{
+	"all":       true,
+	"fig10":     true,
+	"fig11":     true,
+	"fig12":     true,
+	"table3":    true,
+	"headline":  true,
+	"ablations": true,
+}
+
+func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics bool, parallel int) error {
+	// Validate up front: an unknown -exp must error even when -metrics (or
+	// any other output) would otherwise produce something.
+	if !knownExperiments[exp] {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
 	horizon := simkit.Time(float64(30*simkit.Day) * months)
 	want := func(f string) bool { return exp == "all" || exp == f }
 
@@ -44,7 +66,7 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics b
 	if needMatrix {
 		fmt.Fprintf(os.Stderr, "spotsim: running %d simulations (%d VMs, %.1f months)...\n",
 			5*4, vms, months)
-		matrix, err := experiments.PolicyMatrix(vms, horizon, seed)
+		matrix, err := experiments.PolicyMatrix(vms, horizon, seed, parallel)
 		if err != nil {
 			return err
 		}
@@ -62,7 +84,7 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics b
 		}
 	}
 	if want("table3") {
-		rows, err := experiments.Table3(vms, horizon, seed)
+		rows, err := experiments.Table3(vms, horizon, seed, parallel)
 		if err != nil {
 			return err
 		}
@@ -91,14 +113,11 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics b
 	}
 	if want("ablations") {
 		fmt.Fprintln(os.Stderr, "spotsim: running ablation studies...")
-		out, err := experiments.RenderAblations(vms, horizon, seed)
+		out, err := experiments.RenderAblations(vms, horizon, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, out)
-	}
-	if !needMatrix && !want("table3") && !want("headline") && !want("ablations") && !metrics {
-		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
 }

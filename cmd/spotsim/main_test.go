@@ -7,14 +7,14 @@ import (
 
 func TestRunHeadlineAndTable3(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "headline", 8, 0.5, 42, false); err != nil {
+	if err := run(&b, "headline", 8, 0.5, 42, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "savings:") {
 		t.Error("headline output missing")
 	}
 	b.Reset()
-	if err := run(&b, "table3", 8, 0.5, 42, false); err != nil {
+	if err := run(&b, "table3", 8, 0.5, 42, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Table 3") {
@@ -24,7 +24,7 @@ func TestRunHeadlineAndTable3(t *testing.T) {
 
 func TestRunFigures(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig11", 6, 0.5, 42, false); err != nil {
+	if err := run(&b, "fig11", 6, 0.5, 42, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -40,7 +40,7 @@ func TestRunFigures(t *testing.T) {
 // headline run's registry with live migration, revocation and flush series.
 func TestRunMetrics(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "headline", 8, 0.5, 42, true); err != nil {
+	if err := run(&b, "headline", 8, 0.5, 42, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -62,7 +62,7 @@ func TestRunMetrics(t *testing.T) {
 // TestRunMetricsOnly verifies -metrics works without a named experiment.
 func TestRunMetricsOnly(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig11", 6, 0.5, 42, true); err != nil {
+	if err := run(&b, "fig11", 6, 0.5, 42, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Metrics snapshot") {
@@ -72,7 +72,40 @@ func TestRunMetricsOnly(t *testing.T) {
 
 func TestRunUnknown(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "nope", 8, 0.5, 42, false); err == nil {
+	if err := run(&b, "nope", 8, 0.5, 42, false, 1); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunUnknownWithMetrics pins the regression where -metrics suppressed
+// the unknown-experiment check: `-exp fig13 -metrics` quietly ran the
+// headline simulation instead of erroring on the typo.
+func TestRunUnknownWithMetrics(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, "fig13", 8, 0.5, 42, true, 1)
+	if err == nil {
+		t.Fatal("unknown experiment accepted when -metrics is set")
+	}
+	if !strings.Contains(err.Error(), "fig13") {
+		t.Errorf("error %q does not name the bad experiment", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("unknown experiment still produced output:\n%s", b.String())
+	}
+}
+
+// TestRunParallelMatchesSequential requires byte-identical figure output
+// for a fixed seed regardless of the sweep worker count.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var seq, par strings.Builder
+	if err := run(&seq, "fig10", 6, 0.5, 42, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&par, "fig10", 6, 0.5, 42, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.String(), par.String())
 	}
 }

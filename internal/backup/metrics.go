@@ -44,6 +44,18 @@ func (m *Metrics) sync(p *Pool, s *Server) {
 	}
 }
 
+// retired refreshes the fleet-level gauges and drops the retired server's
+// labeled ingest series from the registry. Without the removal the series
+// would survive Pool.Remove and report the server's last ingest forever.
+func (m *Metrics) retired(p *Pool, s *Server) {
+	if m == nil {
+		return
+	}
+	m.servers.Set(float64(len(p.servers)))
+	m.vms.Set(float64(len(p.byVM)))
+	m.reg.Remove("spotcheck_backup_ingest_mbs", obs.L("server", s.ID()))
+}
+
 // assigned records a completed stream assignment onto server s.
 func (m *Metrics) assigned(p *Pool, s *Server) {
 	if m == nil {

@@ -113,14 +113,17 @@ func (p *Pool) AssignSpread(vmID string, dirtyMBs float64, group string) (*Serve
 	}
 	if best == nil {
 		best = p.provision()
-		p.next = 0
-	} else {
-		// Advance the cursor past the chosen server.
-		for i, s := range p.servers {
-			if s == best {
-				p.next = (i + 1) % len(p.servers)
-				break
-			}
+	}
+	// Advance the cursor past the chosen server. The provision-on-full path
+	// shares this scan rather than resetting the cursor to 0: an
+	// onProvision callback may re-enter the pool (assigning spares, even
+	// growing the fleet further), and a blind reset would discard the
+	// cursor position those reentrant assignments established, skewing
+	// subsequent grouped placement toward server 0.
+	for i, s := range p.servers {
+		if s == best {
+			p.next = (i + 1) % len(p.servers)
+			break
 		}
 	}
 	if err := best.Register(vmID, dirtyMBs); err != nil {
@@ -173,7 +176,7 @@ func (p *Pool) Remove(s *Server) error {
 					delete(p.groupCount, k)
 				}
 			}
-			p.metrics.sync(p, s)
+			p.metrics.retired(p, s)
 			return nil
 		}
 	}

@@ -3,6 +3,8 @@ package backup
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestPoolRoundRobinSpreads(t *testing.T) {
@@ -157,6 +159,118 @@ func TestAssignSpreadBalancesGroups(t *testing.T) {
 	}
 	if got := p2.MaxGroupPerServer(); got != 1 {
 		t.Errorf("pool-A spread across servers: max per server = %d, want 1", got)
+	}
+}
+
+// TestMetricsRetireServer walks an assign→release→remove cycle against the
+// registry: each server's labeled ingest series must appear while it serves
+// streams and disappear when Pool.Remove retires it — not report its last
+// ingest forever.
+func TestMetricsRetireServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(Config{MaxVMs: 2}, nil)
+	p.SetMetrics(NewMetrics(reg))
+
+	for i := 0; i < 4; i++ {
+		if _, err := p.Assign(fmt.Sprintf("vm-%d", i), 2.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Value("spotcheck_backup_servers"); v != 2 {
+		t.Fatalf("backup_servers gauge = %v, want 2", v)
+	}
+	if v, _ := snap.Value("spotcheck_backup_vms"); v != 4 {
+		t.Fatalf("backup_vms gauge = %v, want 4", v)
+	}
+	for _, s := range p.Servers() {
+		v, ok := snap.Value("spotcheck_backup_ingest_mbs", obs.L("server", s.ID()))
+		if !ok {
+			t.Fatalf("no ingest series for %s", s.ID())
+		}
+		if v <= 0 {
+			t.Errorf("ingest for %s = %v, want > 0 while serving streams", s.ID(), v)
+		}
+	}
+
+	// Drain and retire the first server.
+	victim := p.Servers()[0]
+	for _, id := range victim.VMIDs() {
+		p.Release(id)
+	}
+	if err := p.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	snap = reg.Snapshot()
+	if v, _ := snap.Value("spotcheck_backup_servers"); v != 1 {
+		t.Errorf("backup_servers gauge = %v after remove, want 1", v)
+	}
+	if v, _ := snap.Value("spotcheck_backup_vms"); v != 2 {
+		t.Errorf("backup_vms gauge = %v after remove, want 2", v)
+	}
+	if _, ok := snap.Value("spotcheck_backup_ingest_mbs", obs.L("server", victim.ID())); ok {
+		t.Errorf("retired server %s still has an ingest series", victim.ID())
+	}
+	// The survivor's series must be untouched.
+	survivor := p.Servers()[0]
+	if v, ok := snap.Value("spotcheck_backup_ingest_mbs", obs.L("server", survivor.ID())); !ok || v <= 0 {
+		t.Errorf("surviving server %s ingest series = %v (present=%v)", survivor.ID(), v, ok)
+	}
+}
+
+// TestAssignSpreadCursorAfterProvision pins the round-robin cursor after
+// the provision-on-full path: the cursor must sit just past the freshly
+// provisioned server (which lands at the end of the scan order), so the
+// next scan starts from the wrapped position rather than skewing placement
+// toward server 0 after reentrant onProvision activity.
+func TestAssignSpreadCursorAfterProvision(t *testing.T) {
+	p := NewPool(Config{MaxVMs: 2}, nil)
+	// Fill two servers, cursor mid-rotation.
+	for i := 0; i < 4; i++ {
+		if _, err := p.AssignSpread(fmt.Sprintf("vm-%d", i), 2.8, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All full: the next assignment provisions server 3 and must leave the
+	// cursor just past it.
+	s, err := p.AssignSpread("vm-over", 2.8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != p.Servers()[p.Size()-1] {
+		t.Fatal("overflow VM not on the freshly provisioned server")
+	}
+	if want := 0; p.next != want { // (last index + 1) % size
+		t.Errorf("cursor = %d after provision, want %d (just past the new server)", p.next, want)
+	}
+
+	// A reentrant onProvision callback that itself assigns to the pool
+	// must not have its cursor position clobbered by the outer call.
+	var reentrant *Pool
+	reentrant = NewPool(Config{MaxVMs: 4}, func(srv *Server) {
+		if srv.ID() == "backup-002" {
+			// Provisioning the second server: place a spare's stream too.
+			if _, err := reentrant.AssignSpread("spare-0", 2.8, "spares"); err != nil {
+				t.Fatalf("reentrant assign: %v", err)
+			}
+		}
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := reentrant.AssignSpread(fmt.Sprintf("vm-%d", i), 2.8, "pool-A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 pool-A VMs + 1 reentrant spare over capacity-4 servers: two
+	// servers, spare and the overflow VM both on backup-002.
+	if reentrant.Size() != 2 {
+		t.Fatalf("pool size = %d, want 2", reentrant.Size())
+	}
+	if got := reentrant.ServerFor("spare-0").ID(); got != "backup-002" {
+		t.Errorf("spare on %s, want backup-002", got)
+	}
+	if reentrant.next != 0 {
+		t.Errorf("cursor = %d after reentrant provision, want 0", reentrant.next)
 	}
 }
 

@@ -89,46 +89,44 @@ type SlicingAblation struct {
 }
 
 // AblationSlicing runs the comparison.
-func AblationSlicing(vms int, horizon simkit.Time, seed int64) (SlicingAblation, error) {
+func AblationSlicing(vms int, horizon simkit.Time, seed int64, workers ...int) (SlicingAblation, error) {
 	// A market where m3.large costs 1.2x m3.medium (i.e. 0.6x per slot),
-	// both spiking together so storms are comparable.
-	mkTraces := func() (spotmarket.Set, error) {
-		configs := map[spotmarket.MarketKey]spotmarket.GenConfig{
-			{Type: cloud.M3Medium, Zone: EvalZone}: spotmarket.DefaultConfig(0.07, spotmarket.VolatilityMedium),
-			{Type: cloud.M3Large, Zone: EvalZone}:  spotmarket.DefaultConfig(0.14, spotmarket.VolatilityMedium),
-		}
-		// Make the large market structurally cheaper per slot.
-		c := configs[spotmarket.MarketKey{Type: cloud.M3Large, Zone: EvalZone}]
-		c.BaseRatio = 0.06 // large trades at 6% of OD => 0.0084/2 slots = 0.0042
-		configs[spotmarket.MarketKey{Type: cloud.M3Large, Zone: EvalZone}] = c
-		return spotmarket.GenerateSet(configs, horizon, seed)
+	// both spiking together so storms are comparable. Generated once: both
+	// arms read the same immutable trace set.
+	configs := map[spotmarket.MarketKey]spotmarket.GenConfig{
+		{Type: cloud.M3Medium, Zone: EvalZone}: spotmarket.DefaultConfig(0.07, spotmarket.VolatilityMedium),
+		{Type: cloud.M3Large, Zone: EvalZone}:  spotmarket.DefaultConfig(0.14, spotmarket.VolatilityMedium),
 	}
-	run := func(policy core.PlacementPolicy, name string) (PolicyRunResult, error) {
-		traces, err := mkTraces()
-		if err != nil {
-			return PolicyRunResult{}, err
-		}
-		return RunPolicy(PolicyRunConfig{
+	// Make the large market structurally cheaper per slot.
+	c := configs[spotmarket.MarketKey{Type: cloud.M3Large, Zone: EvalZone}]
+	c.BaseRatio = 0.06 // large trades at 6% of OD => 0.0084/2 slots = 0.0042
+	configs[spotmarket.MarketKey{Type: cloud.M3Large, Zone: EvalZone}] = c
+	traces, err := spotmarket.GenerateSet(configs, horizon, seed)
+	if err != nil {
+		return SlicingAblation{}, err
+	}
+	markets := []spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: EvalZone},
+		{Type: cloud.M3Large, Zone: EvalZone},
+	}
+	spec := func(policy core.PlacementPolicy, name string) RunSpec {
+		return RunSpec{ID: name, Cfg: PolicyRunConfig{
 			Policy:    PolicyFactory{Name: name, New: func() core.PlacementPolicy { return policy }},
 			Mechanism: migration.SpotCheckLazy,
 			VMs:       vms,
 			Horizon:   horizon,
 			Seed:      seed,
 			Traces:    traces,
-		})
+		}}
 	}
-	markets := []spotmarket.MarketKey{
-		{Type: cloud.M3Medium, Zone: EvalZone},
-		{Type: cloud.M3Large, Zone: EvalZone},
-	}
-	direct, err := run(core.NewRoundRobinPolicy("direct", markets[:1]), "direct")
+	results, err := Sweep([]RunSpec{
+		spec(core.NewRoundRobinPolicy("direct", markets[:1]), "direct"),
+		spec(core.NewGreedyCheapestPolicy(markets), "greedy-sliced"),
+	}, SweepOptions{Workers: sweepWorkers(workers)})
 	if err != nil {
 		return SlicingAblation{}, err
 	}
-	sliced, err := run(core.NewGreedyCheapestPolicy(markets), "greedy-sliced")
-	if err != nil {
-		return SlicingAblation{}, err
-	}
+	direct, sliced := results[0], results[1]
 	out := SlicingAblation{
 		DirectCostPerHour: direct.CostPerHour(),
 		SlicedCostPerHour: sliced.CostPerHour(),
@@ -155,7 +153,7 @@ type BiddingAblationRow struct {
 
 // AblationBidding compares bid=OD against k×OD (with proactive migration)
 // on the stormy 4-pool placement.
-func AblationBidding(vms int, horizon simkit.Time, seed int64) ([]BiddingAblationRow, error) {
+func AblationBidding(vms int, horizon simkit.Time, seed int64, workers ...int) ([]BiddingAblationRow, error) {
 	policies := []struct {
 		name string
 		bid  core.BiddingPolicy
@@ -164,26 +162,30 @@ func AblationBidding(vms int, horizon simkit.Time, seed int64) ([]BiddingAblatio
 		{"bid=1.5x-od", core.MultipleBid{K: 1.5}},
 		{"bid=2x-od", core.MultipleBid{K: 2}},
 	}
-	var rows []BiddingAblationRow
-	for _, p := range policies {
-		res, err := RunPolicy(PolicyRunConfig{
+	specs := make([]RunSpec, len(policies))
+	for i, p := range policies {
+		specs[i] = RunSpec{ID: p.name, Cfg: PolicyRunConfig{
 			Policy:    PolicyFactory{Name: "4P-ED", New: core.Policy4PED},
 			Mechanism: migration.SpotCheckLazy,
 			VMs:       vms,
 			Horizon:   horizon,
 			Seed:      seed,
 			Bidding:   p.bid,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, BiddingAblationRow{
-			Policy:            p.name,
+		}}
+	}
+	results, err := Sweep(specs, SweepOptions{Workers: sweepWorkers(workers)})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BiddingAblationRow, len(results))
+	for i, res := range results {
+		rows[i] = BiddingAblationRow{
+			Policy:            policies[i].name,
 			CostPerHour:       res.CostPerHour(),
 			Revocations:       int(res.Metric("spotcheck_revocation_warnings_total")),
 			Proactive:         int(res.MetricValue("spotcheck_migrations_started_total", obs.L("reason", "proactive"))),
 			UnavailabilityPct: res.UnavailabilityPct(),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -218,7 +220,7 @@ type DestinationAblationRow struct {
 // them is smaller than the warning period". (With EC2's full 120 s window,
 // lazy acquisition hides the startup behind the degraded drain and spares
 // buy nothing — the paper's own observation.)
-func AblationDestination(vms int, horizon simkit.Time, seed int64) ([]DestinationAblationRow, error) {
+func AblationDestination(vms int, horizon simkit.Time, seed int64, workers ...int) ([]DestinationAblationRow, error) {
 	configs := []struct {
 		name   string
 		dest   core.DestinationPolicy
@@ -228,9 +230,9 @@ func AblationDestination(vms int, horizon simkit.Time, seed int64) ([]Destinatio
 		{"hot-spare", core.DestHotSpare, 4},
 		{"staging", core.DestStaging, 0},
 	}
-	var rows []DestinationAblationRow
-	for _, cfg := range configs {
-		res, err := RunPolicy(PolicyRunConfig{
+	specs := make([]RunSpec, len(configs))
+	for i, cfg := range configs {
+		specs[i] = RunSpec{ID: cfg.name, Cfg: PolicyRunConfig{
 			Policy:        PolicyFactory{Name: "4P-ED", New: core.Policy4PED},
 			Mechanism:     migration.SpotCheckLazy,
 			VMs:           vms,
@@ -239,17 +241,21 @@ func AblationDestination(vms int, horizon simkit.Time, seed int64) ([]Destinatio
 			Destination:   cfg.dest,
 			HotSpares:     cfg.spares,
 			WarningWindow: 45 * simkit.Second,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, DestinationAblationRow{
-			Policy:            cfg.name,
+		}}
+	}
+	results, err := Sweep(specs, SweepOptions{Workers: sweepWorkers(workers)})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DestinationAblationRow, len(results))
+	for i, res := range results {
+		rows[i] = DestinationAblationRow{
+			Policy:            configs[i].name,
 			CostPerHour:       res.CostPerHour(),
 			UnavailabilityPct: res.UnavailabilityPct(),
 			Migrations:        res.Migrations(),
 			SpareCost:         float64(res.Report.SpareCost),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -277,25 +283,25 @@ type StatelessAblation struct {
 }
 
 // AblationStateless runs the comparison on the calm 1P-M pool.
-func AblationStateless(vms int, horizon simkit.Time, seed int64) (StatelessAblation, error) {
-	run := func(stateless bool) (PolicyRunResult, error) {
-		return RunPolicy(PolicyRunConfig{
+func AblationStateless(vms int, horizon simkit.Time, seed int64, workers ...int) (StatelessAblation, error) {
+	spec := func(name string, stateless bool) RunSpec {
+		return RunSpec{ID: name, Cfg: PolicyRunConfig{
 			Policy:    PolicyFactory{Name: "1P-M", New: core.Policy1PM},
 			Mechanism: migration.SpotCheckLazy,
 			VMs:       vms,
 			Horizon:   horizon,
 			Seed:      seed,
 			Stateless: stateless,
-		})
+		}}
 	}
-	stateful, err := run(false)
+	results, err := Sweep([]RunSpec{
+		spec("stateful", false),
+		spec("stateless", true),
+	}, SweepOptions{Workers: sweepWorkers(workers)})
 	if err != nil {
 		return StatelessAblation{}, err
 	}
-	stateless, err := run(true)
-	if err != nil {
-		return StatelessAblation{}, err
-	}
+	stateful, stateless := results[0], results[1]
 	return StatelessAblation{
 		StatefulCostPerHour:  stateful.CostPerHour(),
 		StatelessCostPerHour: stateless.CostPerHour(),
@@ -325,25 +331,25 @@ type PredictiveAblation struct {
 // spikes are near-instantaneous, so the trend predictor catches only
 // spikes whose onset straddles a monitor tick — the honest result the
 // paper hints at: trend prediction is hard without high-frequency signals.
-func AblationPredictive(vms int, horizon simkit.Time, seed int64) (PredictiveAblation, error) {
-	run := func(pred core.PredictiveConfig) (PolicyRunResult, error) {
-		return RunPolicy(PolicyRunConfig{
+func AblationPredictive(vms int, horizon simkit.Time, seed int64, workers ...int) (PredictiveAblation, error) {
+	spec := func(name string, pred core.PredictiveConfig) RunSpec {
+		return RunSpec{ID: name, Cfg: PolicyRunConfig{
 			Policy:     PolicyFactory{Name: "4P-ED", New: core.Policy4PED},
 			Mechanism:  migration.SpotCheckLazy,
 			VMs:        vms,
 			Horizon:    horizon,
 			Seed:       seed,
 			Predictive: pred,
-		})
+		}}
 	}
-	off, err := run(core.PredictiveConfig{})
+	results, err := Sweep([]RunSpec{
+		spec("predictive-off", core.PredictiveConfig{}),
+		spec("predictive-on", core.PredictiveConfig{Enabled: true, Threshold: 0.8}),
+	}, SweepOptions{Workers: sweepWorkers(workers)})
 	if err != nil {
 		return PredictiveAblation{}, err
 	}
-	on, err := run(core.PredictiveConfig{Enabled: true, Threshold: 0.8})
-	if err != nil {
-		return PredictiveAblation{}, err
-	}
+	off, on := results[0], results[1]
 	return PredictiveAblation{
 		OffRevocations: int(off.Metric("spotcheck_revocation_warnings_total")),
 		OnRevocations:  int(on.Metric("spotcheck_revocation_warnings_total")),
@@ -369,35 +375,36 @@ type ZoneSpreadAblation struct {
 
 // AblationZoneSpread compares storm sizes with and without zone spreading
 // of the medium pool across three zones with independent prices.
-func AblationZoneSpread(vms int, horizon simkit.Time, seed int64) (ZoneSpreadAblation, error) {
+func AblationZoneSpread(vms int, horizon simkit.Time, seed int64, workers ...int) (ZoneSpreadAblation, error) {
 	zones := []cloud.Zone{"zone-a", "zone-b", "zone-c"}
 	configs := map[spotmarket.MarketKey]spotmarket.GenConfig{}
 	for _, z := range zones {
 		configs[spotmarket.MarketKey{Type: cloud.M3Medium, Zone: z}] =
 			spotmarket.DefaultConfig(0.07, spotmarket.VolatilityHigh)
 	}
-	run := func(policy core.PlacementPolicy, name string) (PolicyRunResult, error) {
-		traces, err := spotmarket.GenerateSet(configs, horizon, seed)
-		if err != nil {
-			return PolicyRunResult{}, err
-		}
-		return RunPolicy(PolicyRunConfig{
+	// One generation, shared read-only by both arms.
+	traces, err := spotmarket.GenerateSet(configs, horizon, seed)
+	if err != nil {
+		return ZoneSpreadAblation{}, err
+	}
+	spec := func(policy core.PlacementPolicy, name string) RunSpec {
+		return RunSpec{ID: name, Cfg: PolicyRunConfig{
 			Policy:    PolicyFactory{Name: name, New: func() core.PlacementPolicy { return policy }},
 			Mechanism: migration.SpotCheckLazy,
 			VMs:       vms,
 			Horizon:   horizon,
 			Seed:      seed,
 			Traces:    traces,
-		})
+		}}
 	}
-	one, err := run(core.NewZoneSpreadPolicy(cloud.M3Medium, zones[:1]), "1-zone")
+	results, err := Sweep([]RunSpec{
+		spec(core.NewZoneSpreadPolicy(cloud.M3Medium, zones[:1]), "1-zone"),
+		spec(core.NewZoneSpreadPolicy(cloud.M3Medium, zones), "3-zone"),
+	}, SweepOptions{Workers: sweepWorkers(workers)})
 	if err != nil {
 		return ZoneSpreadAblation{}, err
 	}
-	three, err := run(core.NewZoneSpreadPolicy(cloud.M3Medium, zones), "3-zone")
-	if err != nil {
-		return ZoneSpreadAblation{}, err
-	}
+	one, three := results[0], results[1]
 	return ZoneSpreadAblation{
 		OneZoneMaxStorm:     one.Report.MaxStorm,
 		ThreeZoneMaxStorm:   three.Report.MaxStorm,
@@ -407,7 +414,10 @@ func AblationZoneSpread(vms int, horizon simkit.Time, seed int64) (ZoneSpreadAbl
 }
 
 // RenderAblations runs every ablation at the given scale and renders them.
-func RenderAblations(vms int, horizon simkit.Time, seed int64) (string, error) {
+// The optional trailing argument bounds each ablation's sweep worker count
+// (0 or absent means GOMAXPROCS; 1 runs sequentially).
+func RenderAblations(vms int, horizon simkit.Time, seed int64, workers ...int) (string, error) {
+	w := sweepWorkers(workers)
 	var out string
 	flush, err := AblationFlush(nil)
 	if err != nil {
@@ -415,7 +425,7 @@ func RenderAblations(vms int, horizon simkit.Time, seed int64) (string, error) {
 	}
 	out += AblationFlushTable(flush).String() + "\n"
 
-	slicing, err := AblationSlicing(vms, horizon, seed)
+	slicing, err := AblationSlicing(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
@@ -423,26 +433,26 @@ func RenderAblations(vms int, horizon simkit.Time, seed int64) (string, error) {
 		slicing.DirectCostPerHour, slicing.SlicedCostPerHour, slicing.SavingsPct,
 		slicing.DirectMaxStorm, slicing.SlicedMaxStorm)
 
-	bidding, err := AblationBidding(vms, horizon, seed)
+	bidding, err := AblationBidding(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
 	out += AblationBiddingTable(bidding).String() + "\n"
 
-	dest, err := AblationDestination(vms, horizon, seed)
+	dest, err := AblationDestination(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
 	out += AblationDestinationTable(dest).String() + "\n"
 
-	sl, err := AblationStateless(vms, horizon, seed)
+	sl, err := AblationStateless(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
 	out += fmt.Sprintf("Ablation: stateless — stateful $%.4f/hr (unavail %.4f%%) vs stateless $%.4f/hr (unavail %.4f%%), %d backup servers saved\n\n",
 		sl.StatefulCostPerHour, sl.StatefulUnavailPct, sl.StatelessCostPerHour, sl.StatelessUnavailPct, sl.BackupServersSaved)
 
-	pred, err := AblationPredictive(vms, horizon, seed)
+	pred, err := AblationPredictive(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
@@ -450,21 +460,21 @@ func RenderAblations(vms int, horizon simkit.Time, seed int64) (string, error) {
 		pred.OffRevocations, pred.OffUnavailPct, pred.OffCostPerHour,
 		pred.OnRevocations, pred.OnPredictive, pred.OnMisses, pred.OnUnavailPct, pred.OnCostPerHour)
 
-	zs, err := AblationZoneSpread(vms, horizon, seed)
+	zs, err := AblationZoneSpread(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
 	out += fmt.Sprintf("Ablation: zone spread — 1 zone: max storm %d (unavail %.4f%%); 3 zones: max storm %d (unavail %.4f%%)\n\n",
 		zs.OneZoneMaxStorm, zs.OneZoneUnavailPct, zs.ThreeZoneMaxStorm, zs.ThreeZoneUnavailPct)
 
-	bill, err := AblationBilling(vms, horizon, seed)
+	bill, err := AblationBilling(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
 	out += fmt.Sprintf("Ablation: billing — continuous $%.4f/hr vs 2015-era hourly $%.4f/hr (%+.1f%%; started hours round up, reclaimed partial hours free)\n\n",
 		bill.ContinuousCostPerHour, bill.HourlyCostPerHour, bill.DeltaPct)
 
-	tm, err := AblationTraceModel(vms, horizon, seed)
+	tm, err := AblationTraceModel(vms, horizon, seed, w)
 	if err != nil {
 		return "", err
 	}
@@ -489,25 +499,25 @@ type BillingAblation struct {
 // AblationBilling runs the comparison on the stormy 4-pool placement,
 // where frequent revocations make both hourly rounding (more cost) and
 // free reclaimed hours (less cost) matter.
-func AblationBilling(vms int, horizon simkit.Time, seed int64) (BillingAblation, error) {
-	run := func(increment simkit.Time) (PolicyRunResult, error) {
-		return RunPolicy(PolicyRunConfig{
+func AblationBilling(vms int, horizon simkit.Time, seed int64, workers ...int) (BillingAblation, error) {
+	spec := func(name string, increment simkit.Time) RunSpec {
+		return RunSpec{ID: name, Cfg: PolicyRunConfig{
 			Policy:           PolicyFactory{Name: "4P-ED", New: core.Policy4PED},
 			Mechanism:        migration.SpotCheckLazy,
 			VMs:              vms,
 			Horizon:          horizon,
 			Seed:             seed,
 			BillingIncrement: increment,
-		})
+		}}
 	}
-	continuous, err := run(0)
+	results, err := Sweep([]RunSpec{
+		spec("billing-continuous", 0),
+		spec("billing-hourly", simkit.Hour),
+	}, SweepOptions{Workers: sweepWorkers(workers)})
 	if err != nil {
 		return BillingAblation{}, err
 	}
-	hourly, err := run(simkit.Hour)
-	if err != nil {
-		return BillingAblation{}, err
-	}
+	continuous, hourly := results[0], results[1]
 	out := BillingAblation{
 		ContinuousCostPerHour: continuous.CostPerHour(),
 		HourlyCostPerHour:     hourly.CostPerHour(),
@@ -534,7 +544,7 @@ type TraceModelAblation struct {
 // AblationTraceModel runs the 1P-M SpotCheck-lazy headline under three
 // different m3.medium price processes: the calibrated overlay generator,
 // the two-state Markov model, and a generate→fit→regenerate round trip.
-func AblationTraceModel(vms int, horizon simkit.Time, seed int64) ([]TraceModelAblation, error) {
+func AblationTraceModel(vms int, horizon simkit.Time, seed int64, workers ...int) ([]TraceModelAblation, error) {
 	const od = cloud.USD(0.07)
 	mediumKey := spotmarket.MarketKey{Type: cloud.M3Medium, Zone: EvalZone}
 
@@ -565,25 +575,29 @@ func AblationTraceModel(vms int, horizon simkit.Time, seed int64) ([]TraceModelA
 		{"markov", markovTrace},
 		{"fit-regenerate", refittedTrace},
 	}
-	var out []TraceModelAblation
-	for _, m := range models {
-		res, err := RunPolicy(PolicyRunConfig{
+	specs := make([]RunSpec, len(models))
+	for i, m := range models {
+		specs[i] = RunSpec{ID: "trace-model-" + m.name, Cfg: PolicyRunConfig{
 			Policy:    PolicyFactory{Name: "1P-M", New: core.Policy1PM},
 			Mechanism: migration.SpotCheckLazy,
 			VMs:       vms,
 			Horizon:   horizon,
 			Seed:      seed,
 			Traces:    spotmarket.Set{mediumKey: m.trace},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("trace model %s: %w", m.name, err)
-		}
-		out = append(out, TraceModelAblation{
-			Model:        m.name,
+		}}
+	}
+	results, err := Sweep(specs, SweepOptions{Workers: sweepWorkers(workers)})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TraceModelAblation, len(results))
+	for i, res := range results {
+		out[i] = TraceModelAblation{
+			Model:        models[i].name,
 			CostPerHour:  res.CostPerHour(),
 			Availability: res.Report.Availability,
 			Savings:      0.07 / res.CostPerHour(),
-		})
+		}
 	}
 	return out, nil
 }

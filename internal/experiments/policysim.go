@@ -189,27 +189,36 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 	}, nil
 }
 
-// PolicyMatrix runs every named policy against every figure mechanism:
-// the 20 simulations behind Figures 10, 11 and 12.
-func PolicyMatrix(vms int, horizon simkit.Time, seed int64) ([][]PolicyRunResult, error) {
+// PolicyMatrix runs every named policy against every figure mechanism —
+// the 20 simulations behind Figures 10, 11 and 12 — on the parallel sweep
+// engine. The optional trailing argument bounds the worker count (0 or
+// absent means GOMAXPROCS; 1 runs sequentially); the matrix is identical
+// regardless of the worker count.
+func PolicyMatrix(vms int, horizon simkit.Time, seed int64, workers ...int) ([][]PolicyRunResult, error) {
 	policies := NamedPolicyFactories()
 	mechs := FigureMechanisms()
-	out := make([][]PolicyRunResult, len(policies))
-	for i, pol := range policies {
-		out[i] = make([]PolicyRunResult, len(mechs))
-		for j, mech := range mechs {
-			res, err := RunPolicy(PolicyRunConfig{
-				Policy:    pol,
-				Mechanism: mech,
-				VMs:       vms,
-				Horizon:   horizon,
-				Seed:      seed,
+	specs := make([]RunSpec, 0, len(policies)*len(mechs))
+	for _, pol := range policies {
+		for _, mech := range mechs {
+			specs = append(specs, RunSpec{
+				ID: fmt.Sprintf("%s/%v", pol.Name, mech),
+				Cfg: PolicyRunConfig{
+					Policy:    pol,
+					Mechanism: mech,
+					VMs:       vms,
+					Horizon:   horizon,
+					Seed:      seed,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", pol.Name, mech, err)
-			}
-			out[i][j] = res
 		}
+	}
+	flat, err := Sweep(specs, SweepOptions{Workers: sweepWorkers(workers)})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]PolicyRunResult, len(policies))
+	for i := range policies {
+		out[i] = flat[i*len(mechs) : (i+1)*len(mechs)]
 	}
 	return out, nil
 }
@@ -259,27 +268,36 @@ type Table3Result struct {
 func Table3Fractions() []float64 { return []float64{0.25, 0.5, 0.75, 1.0} }
 
 // Table3 runs the 1-pool, 2-pool and 4-pool policies under the full system
-// and reports the probability of concurrent revocation storms by size.
-func Table3(vms int, horizon simkit.Time, seed int64) ([]Table3Result, error) {
+// and reports the probability of concurrent revocation storms by size. The
+// three simulations fan out across the sweep engine; the optional trailing
+// argument bounds the worker count as in PolicyMatrix.
+func Table3(vms int, horizon simkit.Time, seed int64, workers ...int) ([]Table3Result, error) {
 	policies := []PolicyFactory{
 		{Name: "1-Pool", New: core.Policy1PM},
 		{Name: "2-Pool", New: core.Policy2PML},
 		{Name: "4-Pool", New: core.Policy4PED},
 	}
-	var out []Table3Result
-	for _, pol := range policies {
-		res, err := RunPolicy(PolicyRunConfig{
-			Policy:    pol,
-			Mechanism: migration.SpotCheckLazy,
-			VMs:       vms,
-			Horizon:   horizon,
-			Seed:      seed,
-		})
-		if err != nil {
-			return nil, err
+	specs := make([]RunSpec, len(policies))
+	for i, pol := range policies {
+		specs[i] = RunSpec{
+			ID: pol.Name,
+			Cfg: PolicyRunConfig{
+				Policy:    pol,
+				Mechanism: migration.SpotCheckLazy,
+				VMs:       vms,
+				Horizon:   horizon,
+				Seed:      seed,
+			},
 		}
+	}
+	results, err := Sweep(specs, SweepOptions{Workers: sweepWorkers(workers)})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table3Result, len(results))
+	for i, res := range results {
 		probs := core.StormTable(res.Report.StormSizes, vms, Table3Fractions(), horizon.Hours())
-		out = append(out, Table3Result{Policy: pol.Name, Probs: probs})
+		out[i] = Table3Result{Policy: policies[i].Name, Probs: probs}
 	}
 	return out, nil
 }

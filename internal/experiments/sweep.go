@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+// This file holds the parallel sweep engine. The paper's evaluation is
+// dominated by batches of fully independent six-month simulations — the 20
+// cells of Figures 10-12, the three pool counts of Table 3, and the
+// two-to-three arms of each ablation. Every run builds its own scheduler,
+// platform, controller and metrics registry (the controller "replicates
+// trivially" precisely because runs share nothing mutable), so a sweep fans
+// them out across a bounded worker pool and merges results back in spec
+// order. The only data runs share is read-only input: price traces
+// (immutable after generation) and workload profiles (value types with pure
+// methods), which the engine generates once per (horizon, seed) instead of
+// once per cell.
+
+// RunSpec names one cell of a sweep: an identifier used in error reports
+// plus the run's full configuration.
+type RunSpec struct {
+	ID  string
+	Cfg PolicyRunConfig
+}
+
+// RunError wraps a failed cell's error with its identifier, so a 20-cell
+// sweep failure pinpoints which policy × mechanism combination broke.
+type RunError struct {
+	ID  string
+	Err error
+}
+
+func (e *RunError) Error() string { return fmt.Sprintf("run %s: %v", e.ID, e.Err) }
+func (e *RunError) Unwrap() error { return e.Err }
+
+// SweepOptions configures a sweep.
+type SweepOptions struct {
+	// Workers bounds the number of simulations in flight; <= 0 means
+	// runtime.GOMAXPROCS(0). Results are identical regardless of the
+	// worker count — only wall-clock time changes.
+	Workers int
+	// PerRunTraces disables the shared-trace optimisation, regenerating
+	// default traces inside every run (the pre-engine behaviour; useful
+	// for benchmarking the saving).
+	PerRunTraces bool
+}
+
+func (o SweepOptions) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// traceKey identifies one default-trace generation: RunPolicy falls back to
+// EvalTraces(horizon, seed) when no traces are supplied, so specs agreeing
+// on both fields can share a single generated set.
+type traceKey struct {
+	horizon simkit.Time
+	seed    int64
+}
+
+// fillSharedTraces generates the default trace set once per (horizon, seed)
+// and hands the same read-only spotmarket.Set to every spec that would
+// otherwise regenerate it inside RunPolicy. Specs with explicit traces are
+// left alone. The specs slice is mutated in place; Sweep passes a copy.
+func fillSharedTraces(specs []RunSpec) error {
+	cache := map[traceKey]spotmarket.Set{}
+	for i := range specs {
+		cfg := &specs[i].Cfg
+		if cfg.Traces != nil {
+			continue
+		}
+		h := cfg.Horizon
+		if h == 0 {
+			h = SixMonths
+		}
+		key := traceKey{horizon: h, seed: cfg.Seed}
+		set, ok := cache[key]
+		if !ok {
+			var err error
+			set, err = EvalTraces(h, key.seed)
+			if err != nil {
+				return fmt.Errorf("experiments: shared traces for %v/seed=%d: %w", h, key.seed, err)
+			}
+			cache[key] = set
+		}
+		cfg.Traces = set
+	}
+	return nil
+}
+
+// Sweep runs every spec through RunPolicy on a bounded worker pool and
+// returns the results in spec order. Error handling is fail-fast: the first
+// failure stops new runs from being dispatched (in-flight runs drain), and
+// the returned error joins every failure as a *RunError in spec order.
+func Sweep(specs []RunSpec, opt SweepOptions) ([]PolicyRunResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	// Copy so shared-trace filling never mutates the caller's specs.
+	specs = append([]RunSpec(nil), specs...)
+	if !opt.PerRunTraces {
+		if err := fillSharedTraces(specs); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := opt.workers(len(specs))
+	results := make([]PolicyRunResult, len(specs))
+	errs := make([]error, len(specs))
+	var failed atomic.Bool
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := RunPolicy(specs[i].Cfg)
+				if err != nil {
+					errs[i] = &RunError{ID: specs[i].ID, Err: err}
+					failed.Store(true)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range specs {
+		if failed.Load() {
+			break // fail fast: stop dispatching once any run errors
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if failed.Load() {
+		return nil, errors.Join(errs...)
+	}
+	return results, nil
+}
+
+// sweepWorkers extracts the optional trailing worker-count argument the
+// exported sweep entry points accept (0 or absent means GOMAXPROCS).
+func sweepWorkers(workers []int) int {
+	if len(workers) == 0 {
+		return 0
+	}
+	return workers[0]
+}

@@ -241,3 +241,39 @@ func TestDescribeBeforeRegister(t *testing.T) {
 		}
 	}
 }
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("ingest", "Per-server ingest.")
+	r.Gauge("ingest", L("server", "a")).Set(50)
+	r.Gauge("ingest", L("server", "b")).Set(70)
+
+	r.Remove("ingest", L("server", "a"))
+	snap := r.Snapshot()
+	if _, ok := snap.Value("ingest", L("server", "a")); ok {
+		t.Error("removed series still in snapshot")
+	}
+	if v, ok := snap.Value("ingest", L("server", "b")); !ok || v != 70 {
+		t.Errorf("surviving series = %v (present=%v), want 70", v, ok)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `server="a"`) {
+		t.Error("removed series still in Prometheus exposition")
+	}
+	if !strings.Contains(out, "# HELP ingest Per-server ingest.") {
+		t.Error("family help lost after series removal")
+	}
+
+	// Removing unknown series/families must be a no-op, and a later lookup
+	// with the removed labels interns a fresh zero-valued series.
+	r.Remove("ingest", L("server", "ghost"))
+	r.Remove("no-such-family")
+	if v := r.Gauge("ingest", L("server", "a")).Value(); v != 0 {
+		t.Errorf("re-interned series carries stale value %v", v)
+	}
+}

@@ -270,6 +270,27 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 	return f.get(labels).hist
 }
 
+// Remove deletes the series name{labels} from the registry, so snapshots
+// and the Prometheus exposition stop reporting it. Gauges labelled by a
+// dynamic entity (a backup server, a VM) must be removed when the entity
+// retires, or they report their last value forever. Removing an unknown
+// series is a no-op. The family (and its help text) survives with its
+// remaining series. Instrument pointers obtained earlier keep working but
+// are detached: a later lookup with the same labels interns a fresh series.
+func (r *Registry) Remove(name string, labels ...Label) {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return
+	}
+	sortLabels(labels)
+	sig := signature(labels)
+	f.mu.Lock()
+	delete(f.series, sig)
+	f.mu.Unlock()
+}
+
 // Describe attaches help text to a metric family (shown as # HELP in the
 // Prometheus exposition). Order is immaterial: describing a family that is
 // not registered yet stores the text and applies it on first registration.
