@@ -91,6 +91,41 @@ func (d *daemon) advance(dt simkit.Time) {
 	d.sched.RunUntil(d.sched.Now() + dt)
 }
 
+// wallToSim converts elapsed wall-clock time to a virtual-time delta at the
+// given speedup. This is the daemon's single wall→sim crossing point:
+// everything behind it (scheduler, controller, traces, /metrics) sees only
+// simkit virtual time. Non-positive elapsed time (a clock step, a
+// duplicate tick) advances nothing.
+func wallToSim(elapsed time.Duration, speedup float64) simkit.Time {
+	if elapsed <= 0 || speedup <= 0 {
+		return 0
+	}
+	return simkit.Time(float64(elapsed) * speedup)
+}
+
+// clockLoop drives continuous virtual time from a wall-clock tick stream
+// until stop closes. Each delivered tick advances the simulation by the
+// wall time *actually elapsed* since the previous tick, not by the nominal
+// tick period: ticker deliveries are delayed or dropped whenever /advance
+// or a slow handler holds the daemon lock, and the pre-fix loop
+// (`for range time.Tick(tick)`, advancing a fixed quantum) silently ran
+// the simulation slower than the advertised speedup — and leaked its
+// goroutine and ticker at shutdown, since time.Tick cannot be stopped.
+func (d *daemon) clockLoop(ticks <-chan time.Time, start time.Time, speedup float64, stop <-chan struct{}) {
+	last := start
+	for {
+		select {
+		case t := <-ticks:
+			if dt := wallToSim(t.Sub(last), speedup); dt > 0 {
+				d.advance(dt)
+				last = t
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
 func (d *daemon) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -294,12 +329,11 @@ func main() {
 		log.Fatal("spotcheckd: ", err)
 	}
 	if *speedup > 0 {
-		go func() {
-			const tick = 100 * time.Millisecond
-			for range time.Tick(tick) {
-				d.advance(simkit.Time(float64(tick) * *speedup))
-			}
-		}()
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		stop := make(chan struct{})
+		defer close(stop)
+		go d.clockLoop(ticker.C, time.Now(), *speedup, stop)
 	}
 	log.Printf("spotcheckd: listening on %s (speedup %.0fx, markets %v)",
 		*listen, *speedup, marketNames())

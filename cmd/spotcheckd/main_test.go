@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/simkit"
 )
@@ -352,7 +353,7 @@ func TestDaemonMetrics(t *testing.T) {
 	for _, want := range []string{
 		"spotcheck_vms_created_total 1",
 		"spotcheck_pool_hosts{",
-		"cloudsim_price_ticks_total{",
+		"spotcheck_cloudsim_price_ticks_total{",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)
@@ -429,4 +430,66 @@ func TestDaemonEstimate(t *testing.T) {
 		t.Fatal(err)
 	}
 	decode(t, resp, http.StatusNotFound, nil)
+}
+
+func TestWallToSim(t *testing.T) {
+	tests := []struct {
+		name    string
+		elapsed time.Duration
+		speedup float64
+		want    simkit.Time
+	}{
+		{"100ms at 60x", 100 * time.Millisecond, 60, simkit.Time(6 * time.Second)},
+		{"delayed tick carries full elapsed time", 450 * time.Millisecond, 60, simkit.Time(27 * time.Second)},
+		{"1x passthrough", time.Second, 1, simkit.Time(time.Second)},
+		{"zero elapsed", 0, 60, 0},
+		{"backwards wall clock", -time.Second, 60, 0},
+		{"zero speedup", time.Second, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := wallToSim(tt.elapsed, tt.speedup); got != tt.want {
+				t.Errorf("wallToSim(%v, %v) = %v, want %v", tt.elapsed, tt.speedup, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestClockLoopAdvancesByElapsedWallTime is the regression test for the
+// speedup loop: virtual time must track the wall time actually elapsed
+// between delivered ticks, not tick_period × tick_count. The old
+// `for range time.Tick` loop advanced a fixed quantum per delivery, so
+// every tick the runtime delayed or dropped (e.g. while /advance held the
+// daemon lock) silently slowed the simulation below the advertised
+// speedup — and the loop had no stop path at all.
+func TestClockLoopAdvancesByElapsedWallTime(t *testing.T) {
+	d, err := newDaemon(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := make(chan time.Time)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	start := time.Unix(1000, 0)
+	go func() {
+		d.clockLoop(ticks, start, 60, stop)
+		close(done)
+	}()
+
+	// A nominal tick, then one delivered 250ms late: together they span
+	// 450ms of wall time and must yield exactly 27s of virtual time.
+	ticks <- start.Add(100 * time.Millisecond)
+	ticks <- start.Add(450 * time.Millisecond)
+	// A duplicate and a backwards timestamp must advance nothing.
+	ticks <- start.Add(450 * time.Millisecond)
+	ticks <- start.Add(200 * time.Millisecond)
+
+	// Closing stop terminates the loop — the cancellation path the old
+	// time.Tick goroutine lacked.
+	close(stop)
+	<-done
+
+	if got, want := d.sched.Now(), simkit.Time(27*time.Second); got != want {
+		t.Errorf("virtual time = %v, want %v", got, want)
+	}
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the test into dir, restoring the old cwd on cleanup (run
+// resolves the module root from the working directory).
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// writeModule lays out a throwaway module on disk.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFlagsFixtureViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/core/bad.go": `package core
+
+import "time"
+
+func now() int64 { return time.Now().Unix() }
+
+func guard() { panic("boom") }
+`,
+	})
+	chdir(t, dir)
+
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, "", false, nil); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"internal/core/bad.go:5", "determinism", "time.Now",
+		"internal/core/bad.go:7", "panicdiscipline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "2 finding(s)") {
+		t.Errorf("stderr = %q, want finding count", stderr.String())
+	}
+
+	// A -checks subset only runs the named analyzer.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, "panicdiscipline", false, nil); code != 1 {
+		t.Fatalf("subset exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout.String(), "determinism") {
+		t.Errorf("-checks subset leaked other analyzers:\n%s", stdout.String())
+	}
+
+	// Unknown check names are a usage error, not findings.
+	if code := run(&stdout, &stderr, "nosuch", false, nil); code != 2 {
+		t.Fatalf("unknown check exit = %d, want 2", code)
+	}
+}
+
+func TestRunCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/core/ok.go": `package core
+
+func add(a, b int) int { return a + b }
+`,
+	})
+	chdir(t, dir)
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, "", false, nil); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output: %q", stdout.String())
+	}
+}
+
+// TestRunRepoIsClean duplicates the CI gate from inside go test: the real
+// repository must lint clean through the CLI path too.
+func TestRunRepoIsClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, "", false, []string{"./..."}); code != 0 {
+		t.Fatalf("spotlint over repo = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestListAndUsage(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(&stdout, &stderr, "", true, nil); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, want := range []string{"determinism", "metrichygiene", "panicdiscipline", "goroutines"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	var b strings.Builder
+	usage(&b)
+	for _, want := range []string{"usage: spotlint", "//lint:ignore", "determinism", "goroutines", "-checks"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("usage missing %q:\n%s", want, b.String())
+		}
+	}
+}

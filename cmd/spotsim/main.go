@@ -13,7 +13,7 @@
 // The output is identical for a fixed seed regardless of the worker count.
 //
 // The -metrics flag additionally prints the headline simulation's
-// end-of-run observability snapshot (every spotcheck_* and cloudsim_*
+// end-of-run observability snapshot (every spotcheck_* and spotcheck_cloudsim_*
 // series) as an aligned table.
 package main
 

@@ -51,7 +51,7 @@ func TestRunMetrics(t *testing.T) {
 		"spotcheck_migrations_started_total",
 		"spotcheck_revocation_warnings_total",
 		"spotcheck_flush_residue_mb",
-		"cloudsim_price_ticks_total",
+		"spotcheck_cloudsim_price_ticks_total",
 	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("metrics snapshot missing series %s", name)

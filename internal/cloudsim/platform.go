@@ -50,7 +50,8 @@ type Config struct {
 	VPC netip.Prefix
 
 	// Metrics, if non-nil, receives platform instruments (price ticks,
-	// warnings, launches, finalized billing) under the cloudsim_ prefix.
+	// warnings, launches, finalized billing) under the spotcheck_cloudsim_
+	// prefix.
 	Metrics *obs.Registry
 }
 
@@ -109,6 +110,18 @@ type Platform struct {
 	met   *platMetrics
 }
 
+// Platform metric families. They live in the project-wide spotcheck_
+// namespace (one scrape prefix, enforced by spotlint's metrichygiene
+// check), with a cloudsim_ segment marking them as ground truth from the
+// native provider rather than controller accounting.
+const (
+	metricWarnings     = "spotcheck_cloudsim_revocation_warnings_total"
+	metricForced       = "spotcheck_cloudsim_forced_terminations_total"
+	metricLaunched     = "spotcheck_cloudsim_instances_launched_total"
+	metricPriceTicks   = "spotcheck_cloudsim_price_ticks_total"
+	metricBillingFinal = "spotcheck_cloudsim_billing_finalized_usd_total"
+)
+
 // platMetrics holds the platform's pre-resolved instruments. A nil
 // *platMetrics (no Config.Metrics) records nothing.
 type platMetrics struct {
@@ -125,16 +138,16 @@ func newPlatMetrics(reg *obs.Registry) *platMetrics {
 	}
 	m := &platMetrics{
 		reg:        reg,
-		warnings:   reg.Counter("cloudsim_revocation_warnings_total"),
-		forced:     reg.Counter("cloudsim_forced_terminations_total"),
-		launchedOD: reg.Counter("cloudsim_instances_launched_total", obs.L("market", "on-demand")),
-		launchedSp: reg.Counter("cloudsim_instances_launched_total", obs.L("market", "spot")),
+		warnings:   reg.Counter(metricWarnings),
+		forced:     reg.Counter(metricForced),
+		launchedOD: reg.Counter(metricLaunched, obs.L("market", "on-demand")),
+		launchedSp: reg.Counter(metricLaunched, obs.L("market", "spot")),
 	}
-	reg.Describe("cloudsim_revocation_warnings_total", "Revocation warnings issued to spot instances.")
-	reg.Describe("cloudsim_forced_terminations_total", "Spot instances reclaimed at their warning deadline.")
-	reg.Describe("cloudsim_instances_launched_total", "Native instances launched, by market.")
-	reg.Describe("cloudsim_price_ticks_total", "Spot price changes observed, by market.")
-	reg.Describe("cloudsim_billing_finalized_usd_total", "Accrued cost of terminated instances, by market.")
+	reg.Describe(metricWarnings, "Revocation warnings issued to spot instances.")
+	reg.Describe(metricForced, "Spot instances reclaimed at their warning deadline.")
+	reg.Describe(metricLaunched, "Native instances launched, by market.")
+	reg.Describe(metricPriceTicks, "Spot price changes observed, by market.")
+	reg.Describe(metricBillingFinal, "Accrued cost of terminated instances, by market.")
 	return m
 }
 
@@ -144,7 +157,7 @@ func (m *platMetrics) billed(market cloud.Market, usd float64) {
 	if m == nil || usd <= 0 {
 		return
 	}
-	m.reg.Counter("cloudsim_billing_finalized_usd_total", obs.L("market", market.String())).Add(usd)
+	m.reg.Counter(metricBillingFinal, obs.L("market", market.String())).Add(usd)
 }
 
 func (m *platMetrics) launched(market cloud.Market) {
@@ -497,7 +510,7 @@ func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
 	// Resolve the per-market tick counter once, outside the hot closure.
 	var ticks *obs.Counter
 	if p.met != nil {
-		ticks = p.met.reg.Counter("cloudsim_price_ticks_total", obs.L("market", key.String()))
+		ticks = p.met.reg.Counter(metricPriceTicks, obs.L("market", key.String()))
 	}
 	var step func(from simkit.Time)
 	step = func(from simkit.Time) {

@@ -140,7 +140,7 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 	}
 	sched := simkit.NewScheduler()
 	// One registry shared by the platform and controller, so a single
-	// snapshot carries both spotcheck_* and cloudsim_* families.
+	// snapshot carries both spotcheck_* and spotcheck_cloudsim_* families.
 	reg := obs.NewRegistry()
 	plat, err := cloudsim.New(sched, cloudsim.Config{
 		Traces:           traces,

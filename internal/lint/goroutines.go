@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Goroutines requires every go statement in non-test code to be paired
+// with a visible cancellation path in its enclosing function. The accepted
+// evidence, anywhere in that function (the goroutine body included):
+//
+//   - a channel receive (<-ch) — done channels, select on ctx.Done()
+//   - a close(ch) call — the shutdown side of a done channel
+//   - a .Done() or .Wait() method call — sync.WaitGroup or context.Context
+//
+// The heuristic is deliberately coarse (no type information): it cannot
+// tell whose Done is whose, but it reliably flags the fire-and-forget
+// `go func() { for { ... } }()` shape that outlives its owner — the leak
+// class the PR 1 Controller.Shutdown fix closed. Intentional daemons carry
+// a //lint:ignore goroutines justification.
+var Goroutines = &Analyzer{
+	Name: "goroutines",
+	Doc:  "go statements need a cancellation path (context, WaitGroup, or done channel)",
+	Run:  runGoroutines,
+}
+
+func runGoroutines(pass *Pass) {
+	// Walk top-level declarations so each go statement can be judged
+	// against its enclosing function's full body.
+	for _, decl := range pass.File.AST.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !hasCancellationEvidence(fn.Body) {
+				pass.Reportf(g, "go statement in %s has no visible cancellation path (channel receive, close, .Done() or .Wait()) in the enclosing function",
+					fn.Name.Name)
+			}
+			return true
+		})
+	}
+}
+
+func hasCancellationEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := e.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

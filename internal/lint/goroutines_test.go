@@ -1,0 +1,105 @@
+package lint
+
+import "testing"
+
+func TestGoroutines(t *testing.T) {
+	tests := []struct {
+		name string
+		rel  string
+		src  string
+		want []string
+	}{
+		{
+			name: "fire-and-forget loop flagged",
+			rel:  "cmd/spotcheckd",
+			src: `package main
+func serve(advance func()) {
+	go func() {
+		for {
+			advance()
+		}
+	}()
+}
+`,
+			want: []string{"no visible cancellation path"},
+		},
+		{
+			name: "named-function goroutine flagged",
+			rel:  "internal/experiments",
+			src: `package experiments
+func f() { go work() }
+func work() {}
+`,
+			want: []string{"no visible cancellation path"},
+		},
+		{
+			name: "waitgroup pairing allowed",
+			rel:  "internal/experiments",
+			src: `package experiments
+import "sync"
+func sweep(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`,
+		},
+		{
+			name: "done-channel pairing allowed",
+			rel:  "cmd/spotcheckd",
+			src: `package main
+func serve(stop chan struct{}, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+`,
+		},
+		{
+			name: "context pairing allowed",
+			rel:  "internal/core",
+			src: `package core
+import "context"
+func monitor(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+`,
+		},
+		{
+			name: "suppressed daemon",
+			rel:  "cmd/spotcheckd",
+			src: `package main
+func serve(f func()) {
+	//lint:ignore goroutines fixture: process-lifetime daemon, dies with main
+	go f()
+}
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wantFindings(t, runOne(t, Goroutines, tt.rel, tt.src), tt.want...)
+		})
+	}
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one analyzer hit: which check fired, where, and why.
+type Finding struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Package is one parsed directory of Go files. External test packages
+// (package foo_test) share the Package of their directory; analyzers skip
+// test files, so the distinction never matters.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/core"
+	Rel   string // module-relative dir, e.g. "internal/core" ("" = root)
+	Dir   string // filesystem dir
+	Files []*File
+
+	consts map[string]string // package-level string constants (non-test files)
+}
+
+// File is one parsed source file plus its package context.
+type File struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	Name string // path as reported in findings
+	Pkg  *Package
+}
+
+// IsTest reports whether the file is a _test.go file. Analyzers skip test
+// files: tests legitimately use wall clocks, panics and ad-hoc goroutines.
+func (f *File) IsTest() bool { return strings.HasSuffix(f.Name, "_test.go") }
+
+// StringConst resolves expr to a compile-time string constant: a string
+// literal, a reference to a package-level string constant, or a +
+// concatenation of such. The bool result is false for anything dynamic
+// (fmt.Sprintf, variables, parameters, cross-package constants).
+func (f *File) StringConst(expr ast.Expr) (string, bool) {
+	return resolveString(expr, f.Pkg.consts)
+}
+
+func resolveString(expr ast.Expr, consts map[string]string) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.Ident:
+		v, ok := consts[e.Name]
+		return v, ok
+	case *ast.ParenExpr:
+		return resolveString(e.X, consts)
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return "", false
+		}
+		x, okx := resolveString(e.X, consts)
+		y, oky := resolveString(e.Y, consts)
+		return x + y, okx && oky
+	}
+	return "", false
+}
+
+// collectConsts interns the package's resolvable string constants. Constants
+// may reference earlier ones (prefix + suffix), so iterate to a fixed point;
+// two passes cover any declaration order the parser can produce, and the
+// loop is bounded for pathological cycles.
+func (p *Package) collectConsts() {
+	p.consts = map[string]string{}
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for _, f := range p.Files {
+			if f.IsTest() {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							break
+						}
+						if _, done := p.consts[name.Name]; done {
+							continue
+						}
+						if v, ok := resolveString(vs.Values[i], p.consts); ok {
+							p.consts[name.Name] = v
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// Analyzer is one project-invariant check. Run is called once per non-test
+// file; it reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, file) unit of work.
+type Pass struct {
+	File     *File
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a finding anchored at node's position.
+func (p *Pass) Reportf(node ast.Node, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.check,
+		Pos:     p.File.Fset.Position(node.Pos()),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IgnoreDirective is the suppression comment prefix. The full form is
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the flagged line or the line directly above it.
+const IgnoreDirective = "//lint:ignore"
+
+// suppressions maps line -> check -> true for one file.
+type suppressions map[int]map[string]bool
+
+// covers reports whether a finding of check at line is suppressed by a
+// directive on the same line or the line immediately above.
+func (s suppressions) covers(check string, line int) bool {
+	return s[line][check] || s[line-1][check]
+}
+
+// parseSuppressions scans a file's comments for ignore directives. A
+// directive missing its check name or reason is malformed and is returned
+// as a finding of the always-on "lint" pseudo-check.
+func parseSuppressions(f *File) (suppressions, []Finding) {
+	sup := suppressions{}
+	var bad []Finding
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, IgnoreDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				bad = append(bad, Finding{
+					Check:   "lint",
+					Pos:     f.Fset.Position(c.Pos()),
+					Message: "malformed directive: want //lint:ignore <check> <reason>",
+				})
+				continue
+			}
+			line := f.Fset.Position(c.Pos()).Line
+			if sup[line] == nil {
+				sup[line] = map[string]bool{}
+			}
+			sup[line][fields[0]] = true
+		}
+	}
+	return sup, bad
+}
+
+// Run applies the analyzers to every non-test file of every package,
+// filters findings through //lint:ignore directives, and returns the
+// survivors sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			sup, bad := parseSuppressions(f)
+			out = append(out, bad...)
+			if f.IsTest() {
+				continue
+			}
+			for _, a := range analyzers {
+				var raw []Finding
+				a.Run(&Pass{File: f, check: a.Name, findings: &raw})
+				for _, fd := range raw {
+					if !sup.covers(a.Name, fd.Pos.Line) {
+						out = append(out, fd)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MetricHygiene, PanicDiscipline, Goroutines}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a := byName[n]
+		if a == nil {
+			return nil, fmt.Errorf("unknown check %q (have %s)", n, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names lists the suite's analyzer names in stable order.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// RunSource parses src as a single file of a package rooted at the
+// module-relative dir rel (e.g. "internal/core") and runs one analyzer over
+// it, suppression filtering included. It exists for fixture tests.
+func RunSource(a *Analyzer, rel, filename, src string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	astf, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: "repro/" + rel, Rel: rel, Dir: rel}
+	f := &File{Fset: fset, AST: astf, Name: filename, Pkg: pkg}
+	pkg.Files = []*File{f}
+	pkg.collectConsts()
+	return Run([]*Analyzer{a}, []*Package{pkg}), nil
+}

@@ -1,0 +1,121 @@
+package lint
+
+import "testing"
+
+func TestMetricHygiene(t *testing.T) {
+	tests := []struct {
+		name string
+		rel  string
+		src  string
+		want []string
+	}{
+		{
+			name: "sprintf-minted name flagged",
+			rel:  "internal/core",
+			src: `package core
+import "fmt"
+func f(reg registry, pool string) {
+	reg.Counter(fmt.Sprintf("spotcheck_%s_total", pool)).Inc()
+}
+type registry interface{ Counter(name string, labels ...string) counter }
+type counter interface{ Inc() }
+`,
+			want: []string{"must be a compile-time string constant"},
+		},
+		{
+			name: "variable name flagged",
+			rel:  "internal/backup",
+			src: `package backup
+func f(reg registry, name string) { reg.Gauge(name) }
+type registry interface{ Gauge(name string) }
+`,
+			want: []string{"must be a compile-time string constant"},
+		},
+		{
+			name: "missing prefix flagged",
+			rel:  "internal/cloudsim",
+			src: `package cloudsim
+func f(reg registry) {
+	reg.Counter("cloudsim_price_ticks_total")
+	reg.Describe("cloudsim_price_ticks_total", "ticks")
+}
+type registry interface {
+	Counter(name string)
+	Describe(name, help string)
+}
+`,
+			want: []string{`must carry the "spotcheck_" prefix`, `must carry the "spotcheck_" prefix`},
+		},
+		{
+			name: "prefixed literal and const allowed",
+			rel:  "internal/migration",
+			src: `package migration
+const metricRestores = "spotcheck_restores_total"
+func f(reg registry) {
+	reg.Counter(metricRestores)
+	reg.Histogram("spotcheck_live_downtime_seconds", nil)
+	reg.Remove(metricRestores)
+}
+type registry interface {
+	Counter(name string)
+	Histogram(name string, buckets []float64)
+	Remove(name string)
+}
+`,
+		},
+		{
+			name: "registry-receiver Remove and Total checked",
+			rel:  "internal/core",
+			src: `package core
+func f(m metrics) {
+	m.reg.Remove("wrong_prefix_series")
+	_ = m.reg.Total("also_wrong")
+}
+type metrics struct{ reg registry }
+type registry interface {
+	Remove(name string)
+	Total(name string) float64
+}
+`,
+			want: []string{`must carry the "spotcheck_" prefix`, `must carry the "spotcheck_" prefix`},
+		},
+		{
+			name: "unrelated Remove and Total out of scope",
+			rel:  "internal/backup",
+			src: `package backup
+func f(p *pool, s snapshot) {
+	p.Remove("backup-003")
+	_ = s.Total("anything")
+}
+type pool struct{}
+func (*pool) Remove(id string) {}
+type snapshot interface{ Total(name string) float64 }
+`,
+		},
+		{
+			name: "obs package itself exempt",
+			rel:  "internal/obs",
+			src: `package obs
+func f(r *Registry) { r.Counter("jobs_total") }
+type Registry struct{}
+func (*Registry) Counter(name string) {}
+`,
+		},
+		{
+			name: "suppressed with reason",
+			rel:  "internal/experiments",
+			src: `package experiments
+func f(reg registry, name string) {
+	//lint:ignore metrichygiene fixture: name validated upstream against a fixed set
+	reg.Gauge(name)
+}
+type registry interface{ Gauge(name string) }
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wantFindings(t, runOne(t, MetricHygiene, tt.rel, tt.src), tt.want...)
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// PanicGuardPackages may panic freely: their panics are invariant guards on
+// programmer error (registering a metric twice with different kinds,
+// scheduling an event in the past), where unwinding to an error return
+// would just smear the bug across the caller. Everywhere else — policy,
+// migration, market logic — a panic takes the whole controller down with
+// the VM fleet it manages, so failures must surface as errors. Individual
+// guard sites outside these packages carry an explicit
+// //lint:ignore panicdiscipline justification.
+var PanicGuardPackages = map[string]bool{
+	"internal/obs":    true,
+	"internal/simkit": true,
+}
+
+// PanicDiscipline flags panic calls outside the designated invariant-guard
+// packages.
+var PanicDiscipline = &Analyzer{
+	Name: "panicdiscipline",
+	Doc:  "panic only in invariant-guard packages (internal/obs, internal/simkit)",
+	Run:  runPanicDiscipline,
+}
+
+func runPanicDiscipline(pass *Pass) {
+	if PanicGuardPackages[pass.File.Pkg.Rel] {
+		return
+	}
+	ast.Inspect(pass.File.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "panic" {
+			pass.Reportf(call, "panic outside invariant-guard packages (%s); return an error instead",
+				strings.Join(guardPackageList(), ", "))
+		}
+		return true
+	})
+}
+
+func guardPackageList() []string {
+	out := make([]string, 0, len(PanicGuardPackages))
+	for p := range PanicGuardPackages {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

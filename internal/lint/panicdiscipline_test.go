@@ -1,0 +1,83 @@
+package lint
+
+import "testing"
+
+func TestPanicDiscipline(t *testing.T) {
+	tests := []struct {
+		name string
+		rel  string
+		src  string
+		want []string
+	}{
+		{
+			name: "panic in policy code flagged",
+			rel:  "internal/core",
+			src: `package core
+func pick(n int) int {
+	if n < 0 {
+		panic("negative pool size")
+	}
+	return n
+}
+`,
+			want: []string{"panic outside invariant-guard packages"},
+		},
+		{
+			name: "panic in cmd flagged",
+			rel:  "cmd/spotsim",
+			src: `package main
+func f() { panic("boom") }
+`,
+			want: []string{"panic outside invariant-guard packages"},
+		},
+		{
+			name: "obs registration guard allowed",
+			rel:  "internal/obs",
+			src: `package obs
+func register(kind int) {
+	if kind < 0 {
+		panic("obs: bad kind")
+	}
+}
+`,
+		},
+		{
+			name: "simkit scheduler guard allowed",
+			rel:  "internal/simkit",
+			src: `package simkit
+func schedule(t int64, now int64) {
+	if t < now {
+		panic("simkit: scheduling in the past")
+	}
+}
+`,
+		},
+		{
+			name: "recover and panic-named identifiers ignored",
+			rel:  "internal/migration",
+			src: `package migration
+func f() { defer recover() }
+var panicCount int
+`,
+		},
+		{
+			name: "suppressed invariant guard",
+			rel:  "internal/nestedvm",
+			src: `package nestedvm
+func (l *ledger) set(t int64) {
+	if t < l.since {
+		//lint:ignore panicdiscipline fixture: accounting invariant guard
+		panic("ledger transition before now")
+	}
+	l.since = t
+}
+type ledger struct{ since int64 }
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wantFindings(t, runOne(t, PanicDiscipline, tt.rel, tt.src), tt.want...)
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// moduleName extracts the module path from root's go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(name), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// Load parses the packages selected by patterns under the module root.
+// Patterns follow the go tool's shape: "./..." (the default), "./dir/..."
+// for a subtree, or "./dir" for a single package. Directories named
+// testdata or vendor and hidden/underscore directories are skipped.
+func Load(root string, patterns []string) ([]*Package, error) {
+	mod, err := moduleName(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dirs := map[string]bool{} // module-relative dirs to parse
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+		}
+		if pat == "." {
+			pat = ""
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		info, err := os.Stat(base)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: not a directory under %s", pat, root)
+		}
+		if !recursive {
+			dirs[pat] = true
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			dirs[filepath.ToSlash(rel)] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var rels []string
+	for rel := range dirs {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, rel := range rels {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var pkg *Package
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			if pkg == nil {
+				importPath := mod
+				if rel != "" {
+					importPath = mod + "/" + rel
+				}
+				pkg = &Package{Path: importPath, Rel: rel, Dir: dir}
+			}
+			pkg.Files = append(pkg.Files, &File{Fset: fset, AST: astf, Name: path, Pkg: pkg})
+		}
+		if pkg != nil {
+			pkg.collectConsts()
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}

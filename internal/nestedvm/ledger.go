@@ -56,6 +56,7 @@ type Ledger struct {
 // panics: a VM has exactly one service lifetime.
 func (l *Ledger) Start(t simkit.Time) {
 	if l.started {
+		//lint:ignore panicdiscipline invariant guard: a second Start means the caller double-placed a VM; availability accounting is already corrupt
 		panic("nestedvm: ledger started twice")
 	}
 	l.started = true
@@ -68,9 +69,11 @@ func (l *Ledger) Start(t simkit.Time) {
 // time. Setting the current condition is a no-op.
 func (l *Ledger) Set(cond Condition, t simkit.Time) {
 	if !l.started {
+		//lint:ignore panicdiscipline invariant guard: transitions before Start are programmer error, not a runtime condition
 		panic("nestedvm: ledger not started")
 	}
 	if t < l.since {
+		//lint:ignore panicdiscipline invariant guard: time running backwards would silently corrupt Figure 11's downtime integrals
 		panic(fmt.Sprintf("nestedvm: ledger transition at %v before %v", t, l.since))
 	}
 	if cond == l.cond {
@@ -109,6 +112,7 @@ func (l *Ledger) Snapshot(t simkit.Time) (down, degraded simkit.Time) {
 		return 0, 0
 	}
 	if t < l.since {
+		//lint:ignore panicdiscipline invariant guard: a snapshot in the past would report negative interval time
 		panic(fmt.Sprintf("nestedvm: snapshot at %v before %v", t, l.since))
 	}
 	down, degraded = l.down, l.degraded

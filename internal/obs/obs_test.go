@@ -57,11 +57,11 @@ func TestKindMismatchPanics(t *testing.T) {
 func TestHistogramBucketEdges(t *testing.T) {
 	bounds := []float64{1, 5, 10}
 	tests := []struct {
-		name   string
-		obs    []float64
-		want   []uint64 // per-bucket counts: <=1, <=5, <=10, +Inf
-		sum    float64
-		count  uint64
+		name  string
+		obs   []float64
+		want  []uint64 // per-bucket counts: <=1, <=5, <=10, +Inf
+		sum   float64
+		count uint64
 	}{
 		{"below first edge", []float64{0.5}, []uint64{1, 0, 0, 0}, 0.5, 1},
 		{"exactly on edge lands inside", []float64{1, 5, 10}, []uint64{1, 1, 1, 0}, 16, 3},
@@ -275,5 +275,98 @@ func TestRegistryRemove(t *testing.T) {
 	r.Remove("no-such-family")
 	if v := r.Gauge("ingest", L("server", "a")).Value(); v != 0 {
 		t.Errorf("re-interned series carries stale value %v", v)
+	}
+}
+
+// TestHistogramUnsortedBucketsPanics covers the registration invariant
+// guard: bucket bounds must arrive sorted, or Observe's binary search
+// would misclassify samples silently.
+func TestHistogramUnsortedBucketsPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unsorted buckets did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "buckets not sorted") {
+			t.Errorf("panic = %v, want buckets-not-sorted message", r)
+		}
+	}()
+	NewRegistry().Histogram("h", []float64{10, 1, 5})
+}
+
+// TestInvariantPanicMessages pins that each guard names the offending
+// metric and the nature of the violation — these strings are what an
+// operator sees in a crash log, so they must identify the bug site.
+func TestInvariantPanicMessages(t *testing.T) {
+	tests := []struct {
+		name string
+		do   func(r *Registry)
+		want string
+	}{
+		{"counter decrement", func(r *Registry) { r.Counter("c").Add(-2.5) }, "counter decrement by -2.5"},
+		{"kind mismatch names metric and kinds", func(r *Registry) {
+			r.Counter("m")
+			r.Histogram("m", nil)
+		}, `metric "m" registered as counter, requested as histogram`},
+		{"bucket relayout names metric", func(r *Registry) {
+			r.Histogram("h", []float64{1, 2})
+			r.Histogram("h", []float64{1, 2, 3})
+		}, `histogram "h" re-registered with 3 buckets, family has 2`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic")
+				}
+				msg, _ := r.(string)
+				if !strings.Contains(msg, tt.want) {
+					t.Errorf("panic = %q, want substring %q", msg, tt.want)
+				}
+			}()
+			tt.do(NewRegistry())
+		})
+	}
+}
+
+// TestRegistryConcurrentRemove races series registration, removal,
+// snapshotting and the Prometheus exposition against each other — the
+// live spotcheckd pattern where backup-server churn retires
+// spotcheck_backup_ingest_mbs series while a scrape walks the registry.
+// Run under -race (CI does) this pins the lock discipline; the final
+// state check pins that interleaved Remove/re-register cannot strand a
+// family in a broken shape.
+func TestRegistryConcurrentRemove(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			server := L("server", string(rune('a'+g%4)))
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					r.Gauge("ingest", server).Set(float64(i))
+				case 1:
+					r.Remove("ingest", server)
+				case 2:
+					_ = r.Snapshot()
+				case 3:
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The family must still be fully usable after the churn.
+	r.Gauge("ingest", L("server", "final")).Set(42)
+	if v, ok := r.Snapshot().Value("ingest", L("server", "final")); !ok || v != 42 {
+		t.Errorf("post-churn gauge = %v (present=%v), want 42", v, ok)
 	}
 }

@@ -129,6 +129,7 @@ func DefaultConfig(onDemand cloud.USD, volatility Volatility) GenConfig {
 		cfg.BaseRatio = 0.22
 		cfg.SurgeMeanInterval = 25 * simkit.Hour
 	default:
+		//lint:ignore panicdiscipline invariant guard: Volatility is a closed enum; an unknown value is a programmer error at the call site
 		panic(fmt.Sprintf("spotmarket: unknown volatility %d", volatility))
 	}
 	return cfg

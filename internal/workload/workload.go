@@ -105,6 +105,7 @@ func (p Profile) overloadFactor(util float64) float64 {
 // for latency-oriented profiles. It panics for throughput-only profiles.
 func (p Profile) ResponseTimeMs(c Conditions) float64 {
 	if p.BaselineResponseMs <= 0 {
+		//lint:ignore panicdiscipline invariant guard: querying latency on a throughput-only profile is API misuse, documented to panic
 		panic(fmt.Sprintf("workload: %s is not latency-oriented", p.Name))
 	}
 	if c.LazyRestoring {
@@ -129,6 +130,7 @@ func (p Profile) ResponseTimeMs(c Conditions) float64 {
 // throughput-oriented profiles. It panics for latency-only profiles.
 func (p Profile) ThroughputBops(c Conditions) float64 {
 	if p.BaselineThroughput <= 0 {
+		//lint:ignore panicdiscipline invariant guard: querying throughput on a latency-only profile is API misuse, documented to panic
 		panic(fmt.Sprintf("workload: %s is not throughput-oriented", p.Name))
 	}
 	tp := p.BaselineThroughput
