@@ -1,0 +1,308 @@
+// Command benchbase establishes and enforces the repository's performance
+// baseline. It runs the benchmark suites (the root bench_test.go evaluation
+// benches plus the scheduler and trace microbenchmarks), normalizes the
+// results — ns/op, B/op, allocs/op and each benchmark's headline custom
+// metrics — into BENCH_core.json, and in compare mode diffs a fresh run
+// against the committed baseline, listing every benchmark that regressed
+// beyond the tolerance.
+//
+//	benchbase -write                 # refresh BENCH_core.json
+//	benchbase -compare               # fail (exit 1) on regressions
+//	benchbase -compare -tolerance 2  # allow up to 3x slower (CI noise)
+//
+// ns/op comparisons are only meaningful on hardware comparable to where
+// the baseline was recorded; allocs/op is hardware-independent and is held
+// to its own (tighter) tolerance.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's normalized numbers.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds testing.B custom metrics (availability-%, savings-x,
+	// ...): the headline quantities each benchmark reproduces.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// baselineFile is the committed BENCH_core.json schema.
+type baselineFile struct {
+	Schema     string        `json:"schema"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchtime  string        `json:"benchtime,omitempty"`
+	Count      int           `json:"count"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+const schemaV1 = "benchbase/v1"
+
+// runBenches is the `go test` invocation, injectable for tests.
+type runBenches func(pkgs []string, bench, benchtime string, count int) (string, error)
+
+func goTestBenches(pkgs []string, bench, benchtime string, count int) (string, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem",
+		"-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkgs...)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return string(out), fmt.Errorf("go test %s: %w", strings.Join(args[1:], " "), err)
+	}
+	return string(out), nil
+}
+
+// parseBenchOutput reads `go test -bench` text output. Lines look like
+//
+//	pkg: repro/internal/simkit
+//	BenchmarkSchedulerThroughput-8  14245332  84.78 ns/op  0 B/op  0 allocs/op
+//	BenchmarkHeadline-8  1  403799838 ns/op  99.99 availability-%  64 B/op ...
+//
+// i.e. after the iteration count, (value, unit) pairs in any order. Across
+// -count repetitions the minimum is kept for ns/B/allocs (noise-robust)
+// and the last value for custom metrics.
+func parseBenchOutput(r io.Reader) (results []benchResult, goos, goarch, cpu string) {
+	byName := map[string]*benchResult{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; some other line
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		key := pkg + " " + name
+		res := byName[key]
+		if res == nil {
+			res = &benchResult{Name: name, Pkg: pkg, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+			byName[key] = res
+			results = append(results, benchResult{}) // placeholder, rewritten below
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			min := func(old, v float64) float64 {
+				if old < 0 || v < old {
+					return v
+				}
+				return old
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = min(res.NsPerOp, val)
+			case "B/op":
+				res.BytesPerOp = min(res.BytesPerOp, val)
+			case "allocs/op":
+				res.AllocsPerOp = min(res.AllocsPerOp, val)
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = val
+			}
+		}
+	}
+	results = results[:0]
+	for _, res := range byName {
+		if res.NsPerOp < 0 {
+			continue // never saw a complete line
+		}
+		if res.BytesPerOp < 0 {
+			res.BytesPerOp = 0
+		}
+		if res.AllocsPerOp < 0 {
+			res.AllocsPerOp = 0
+		}
+		results = append(results, *res)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Pkg != results[j].Pkg {
+			return results[i].Pkg < results[j].Pkg
+		}
+		return results[i].Name < results[j].Name
+	})
+	return results, goos, goarch, cpu
+}
+
+// regression describes one benchmark that got worse beyond tolerance.
+type regression struct {
+	name, metric  string
+	base, current float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("REGRESSION %s: %s %.4g -> %.4g (%+.1f%%)",
+		r.name, r.metric, r.base, r.current, 100*(r.current/r.base-1))
+}
+
+// compare returns the regressions of current vs base. nsTol and allocTol
+// are fractional slacks: current > base*(1+tol) fails. Allocations get an
+// additional absolute slack of 1 alloc/op so 0-vs-1 rounding jitter on
+// amortized growth never trips the gate.
+func compare(base, current []benchResult, nsTol, allocTol float64) (regs []regression, missing []string) {
+	cur := map[string]benchResult{}
+	for _, r := range current {
+		cur[r.Pkg+" "+r.Name] = r
+	}
+	for _, b := range base {
+		c, ok := cur[b.Pkg+" "+b.Name]
+		if !ok {
+			missing = append(missing, b.Pkg+" "+b.Name)
+			continue
+		}
+		full := b.Pkg + " " + b.Name
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsTol) {
+			regs = append(regs, regression{full, "ns/op", b.NsPerOp, c.NsPerOp})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+allocTol)+1 {
+			regs = append(regs, regression{full, "allocs/op", b.AllocsPerOp, c.AllocsPerOp})
+		}
+	}
+	return regs, missing
+}
+
+func run(stdout, stderr io.Writer, argv []string, bench runBenches) int {
+	fs := flag.NewFlagSet("benchbase", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		write     = fs.Bool("write", false, "run the suites and (re)write the baseline file")
+		cmp       = fs.Bool("compare", false, "run the suites and compare against the baseline file")
+		baseline  = fs.String("baseline", "BENCH_core.json", "baseline file path")
+		benchRe   = fs.String("bench", ".", "benchmark selection regexp (go test -bench)")
+		benchtime = fs.String("benchtime", "", "per-benchmark time or iterations (go test -benchtime)")
+		count     = fs.Int("count", 1, "repetitions per benchmark; the minimum is kept")
+		pkgs      = fs.String("pkgs", ".,./internal/simkit,./internal/spotmarket",
+			"comma-separated packages holding the benchmark suites")
+		nsTol    = fs.Float64("tolerance", 0.50, "fractional ns/op regression allowed (0.5 = 50% slower)")
+		allocTol = fs.Float64("alloc-tolerance", 0.25, "fractional allocs/op regression allowed")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchbase -write|-compare [flags]\n\n"+
+			"Runs the repo benchmark suites and maintains the committed perf\n"+
+			"baseline (BENCH_core.json). See docs/EXPERIMENTS.md, \"Performance\n"+
+			"baseline\".\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *write == *cmp {
+		fmt.Fprintln(stderr, "benchbase: exactly one of -write or -compare is required")
+		fs.Usage()
+		return 2
+	}
+
+	out, err := bench(strings.Split(*pkgs, ","), *benchRe, *benchtime, *count)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchbase: bench run failed: %v\n%s", err, out)
+		return 2
+	}
+	results, goos, goarch, cpu := parseBenchOutput(strings.NewReader(out))
+	if len(results) == 0 {
+		fmt.Fprintf(stderr, "benchbase: no benchmark results parsed; output was:\n%s", out)
+		return 2
+	}
+
+	if *write {
+		f := baselineFile{
+			Schema: schemaV1, Goos: goos, Goarch: goarch, CPU: cpu,
+			Benchtime: *benchtime, Count: *count, Benchmarks: results,
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchbase: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*baseline, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchbase: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d benchmarks\n", *baseline, len(results))
+		return 0
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchbase: %v (run `benchbase -write` first)\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "benchbase: bad baseline %s: %v\n", *baseline, err)
+		return 2
+	}
+	if base.Schema != schemaV1 {
+		fmt.Fprintf(stderr, "benchbase: baseline schema %q, want %q\n", base.Schema, schemaV1)
+		return 2
+	}
+	regs, missing := compare(base.Benchmarks, results, *nsTol, *allocTol)
+	for _, m := range missing {
+		fmt.Fprintf(stdout, "note: baseline benchmark %s did not run\n", m)
+	}
+	fmt.Fprintf(stdout, "compared %d benchmarks against %s (ns tolerance %+.0f%%, allocs %+.0f%%)\n",
+		len(base.Benchmarks), *baseline, 100**nsTol, 100**allocTol)
+	if goos != base.Goos || goarch != base.Goarch || cpu != base.CPU {
+		fmt.Fprintf(stdout, "note: baseline host %s/%s (%s) differs from this host %s/%s (%s); ns/op deltas are informational\n",
+			base.Goos, base.Goarch, base.CPU, goos, goarch, cpu)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintln(stdout, "no regressions beyond tolerance")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintln(stdout, r.String())
+	}
+	fmt.Fprintf(stderr, "benchbase: %d benchmark(s) regressed beyond tolerance\n", len(regs))
+	return 1
+}
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:], goTestBenches))
+}

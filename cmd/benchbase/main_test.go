@@ -1,0 +1,164 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkHeadline-8                    1        403799838 ns/op             99.99 availability-%          4.869 savings-x       64 B/op          2 allocs/op
+BenchmarkHeadline-8                    1        401000000 ns/op             99.99 availability-%          4.869 savings-x       80 B/op          3 allocs/op
+PASS
+ok      repro   1.5s
+pkg: repro/internal/simkit
+BenchmarkSchedulerThroughput-8          14245332                84.78 ns/op            0 B/op          0 allocs/op
+BenchmarkSchedulerMixed-8                6772458               177.6 ns/op            16 B/op          1 allocs/op
+PASS
+ok      repro/internal/simkit   3.2s
+`
+
+func fakeBench(out string, err error) runBenches {
+	return func(pkgs []string, bench, benchtime string, count int) (string, error) {
+		return out, err
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	results, goos, goarch, cpu := parseBenchOutput(strings.NewReader(sampleOutput))
+	if goos != "linux" || goarch != "amd64" || cpu != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("host meta = %q/%q/%q", goos, goarch, cpu)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	// Sorted by (pkg, name): repro/BenchmarkHeadline first.
+	h := results[0]
+	if h.Pkg != "repro" || h.Name != "BenchmarkHeadline" {
+		t.Fatalf("first result = %s %s", h.Pkg, h.Name)
+	}
+	// Minimum across the two -count repetitions.
+	if h.NsPerOp != 401000000 || h.BytesPerOp != 64 || h.AllocsPerOp != 2 {
+		t.Errorf("Headline mins = %v ns, %v B, %v allocs", h.NsPerOp, h.BytesPerOp, h.AllocsPerOp)
+	}
+	if h.Metrics["availability-%"] != 99.99 || h.Metrics["savings-x"] != 4.869 {
+		t.Errorf("Headline custom metrics = %v", h.Metrics)
+	}
+	s := results[2]
+	if s.Name != "BenchmarkSchedulerThroughput" || s.NsPerOp != 84.78 || s.AllocsPerOp != 0 {
+		t.Errorf("scheduler result = %+v", s)
+	}
+	if len(s.Metrics) != 0 {
+		t.Errorf("scheduler picked up spurious metrics: %v", s.Metrics)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []benchResult{
+		{Name: "BenchmarkA", Pkg: "p", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkB", Pkg: "p", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", Pkg: "p", NsPerOp: 100},
+	}
+	current := []benchResult{
+		{Name: "BenchmarkA", Pkg: "p", NsPerOp: 120, AllocsPerOp: 2}, // within 50%
+		{Name: "BenchmarkB", Pkg: "p", NsPerOp: 200, AllocsPerOp: 4}, // ns and allocs blown
+	}
+	regs, missing := compare(base, current, 0.5, 0.25)
+	if len(missing) != 1 || missing[0] != "p BenchmarkGone" {
+		t.Errorf("missing = %v", missing)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want ns/op and allocs/op for BenchmarkB", regs)
+	}
+	for _, r := range regs {
+		if r.name != "p BenchmarkB" {
+			t.Errorf("unexpected regression %v", r)
+		}
+	}
+	// The +1 absolute alloc slack: 0 -> 1 alloc must NOT trip the gate.
+	regs, _ = compare(
+		[]benchResult{{Name: "BenchmarkZ", Pkg: "p", NsPerOp: 10, AllocsPerOp: 0}},
+		[]benchResult{{Name: "BenchmarkZ", Pkg: "p", NsPerOp: 10, AllocsPerOp: 1}},
+		0.5, 0.25)
+	if len(regs) != 0 {
+		t.Errorf("0->1 allocs tripped the gate: %v", regs)
+	}
+}
+
+func TestRunUsageSmoke(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-h"}, fakeBench("", nil)); code != 0 {
+		t.Errorf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "usage: benchbase") {
+		t.Errorf("-h did not print usage:\n%s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(&out, &errb, nil, fakeBench("", nil)); code != 2 {
+		t.Errorf("no-mode exit = %d, want 2", code)
+	}
+	if code := run(&out, &errb, []string{"-write", "-compare"}, fakeBench("", nil)); code != 2 {
+		t.Errorf("both-modes exit = %d, want 2", code)
+	}
+}
+
+func TestRunWriteThenCompare(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "BENCH_core.json")
+	var out, errb strings.Builder
+
+	code := run(&out, &errb, []string{"-write", "-baseline", baseline}, fakeBench(sampleOutput, nil))
+	if code != 0 {
+		t.Fatalf("write exit = %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "3 benchmarks") {
+		t.Errorf("write output: %s", out.String())
+	}
+
+	// Identical re-run: clean compare.
+	out.Reset()
+	code = run(&out, &errb, []string{"-compare", "-baseline", baseline}, fakeBench(sampleOutput, nil))
+	if code != 0 {
+		t.Fatalf("identical compare exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("compare output: %s", out.String())
+	}
+
+	// Regressed run: scheduler throughput 10x slower.
+	slow := strings.Replace(sampleOutput, "84.78 ns/op", "847.8 ns/op", 1)
+	out.Reset()
+	errb.Reset()
+	code = run(&out, &errb, []string{"-compare", "-baseline", baseline}, fakeBench(slow, nil))
+	if code != 1 {
+		t.Fatalf("regressed compare exit = %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION repro/internal/simkit BenchmarkSchedulerThroughput: ns/op") {
+		t.Errorf("regression not reported:\n%s", out.String())
+	}
+
+	// A huge tolerance turns the same delta informational.
+	out.Reset()
+	errb.Reset()
+	code = run(&out, &errb,
+		[]string{"-compare", "-baseline", baseline, "-tolerance", "20"},
+		fakeBench(slow, nil))
+	if code != 0 {
+		t.Errorf("tolerant compare exit = %d\n%s", code, errb.String())
+	}
+}
+
+func TestRunCompareMissingBaseline(t *testing.T) {
+	var out, errb strings.Builder
+	baseline := filepath.Join(t.TempDir(), "nope.json")
+	if code := run(&out, &errb, []string{"-compare", "-baseline", baseline},
+		fakeBench(sampleOutput, nil)); code != 2 {
+		t.Errorf("missing baseline exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "benchbase -write") {
+		t.Errorf("stderr should point at -write:\n%s", errb.String())
+	}
+}

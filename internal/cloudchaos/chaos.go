@@ -7,6 +7,7 @@
 package cloudchaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -18,7 +19,8 @@ import (
 type Config struct {
 	// FailProb is the probability that an asynchronous operation's
 	// callback reports a transient failure instead of completing.
-	// Launch failures surface as ErrCapacity (the retryable class).
+	// Launch failures surface as ErrCapacity (the retryable class),
+	// additionally marked with ErrInjected.
 	FailProb float64
 	// ExtraLatency adds a uniformly random delay in [0, ExtraLatency] to
 	// every asynchronous completion.
@@ -27,8 +29,14 @@ type Config struct {
 	Seed int64
 }
 
-// ErrInjected marks chaos-injected operation failures.
-var ErrInjected = fmt.Errorf("cloudchaos: injected failure (%w)", cloud.ErrBadState)
+// ErrInjected marks chaos-injected operation failures, so callers and
+// tests can separate deliberate faults from organic platform errors with
+// errors.Is(err, ErrInjected). It is a plain sentinel: every injection
+// site additionally wraps the operation's organic error class — launch
+// failures wrap cloud.ErrCapacity, the retryable class, matching what the
+// real platform returns when it is out of capacity — so both classes stay
+// visible through errors.Is.
+var ErrInjected = errors.New("cloudchaos: injected failure")
 
 // Provider wraps an inner provider with fault injection.
 type Provider struct {
@@ -73,7 +81,7 @@ func (p *Provider) inject() bool {
 func (p *Provider) RunOnDemand(typ string, zone cloud.Zone, cb cloud.InstanceCallback) {
 	if p.inject() {
 		p.delay("od-fail", func() {
-			cb(nil, fmt.Errorf("launch %s: %w", typ, cloud.ErrCapacity))
+			cb(nil, fmt.Errorf("launch %s: %w: %w", typ, ErrInjected, cloud.ErrCapacity))
 		})
 		return
 	}
@@ -86,7 +94,7 @@ func (p *Provider) RunOnDemand(typ string, zone cloud.Zone, cb cloud.InstanceCal
 func (p *Provider) RequestSpot(typ string, zone cloud.Zone, bid cloud.USD, cb cloud.InstanceCallback) {
 	if p.inject() {
 		p.delay("spot-fail", func() {
-			cb(nil, fmt.Errorf("spot %s: %w", typ, cloud.ErrCapacity))
+			cb(nil, fmt.Errorf("spot %s: %w: %w", typ, ErrInjected, cloud.ErrCapacity))
 		})
 		return
 	}

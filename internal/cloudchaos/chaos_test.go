@@ -63,6 +63,59 @@ func TestChaosInjectsLaunchFailures(t *testing.T) {
 	}
 }
 
+// Injected faults must be distinguishable from organic platform errors:
+// both the ErrInjected marker and the operation's organic class
+// (ErrCapacity, the retryable launch-failure class) must satisfy
+// errors.Is, and ErrBadState must not leak in.
+func TestChaosInjectedErrorClasses(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		launch func(p *cloudchaos.Provider, cb cloud.InstanceCallback)
+	}{
+		{"on-demand", func(p *cloudchaos.Provider, cb cloud.InstanceCallback) {
+			p.RunOnDemand(cloud.M3Medium, "zone-a", cb)
+		}},
+		{"spot", func(p *cloudchaos.Provider, cb cloud.InstanceCallback) {
+			p.RequestSpot(cloud.M3Medium, "zone-a", 0.10, cb)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, inner := flatPlatform(t)
+			chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{FailProb: 1, Seed: 1})
+			var gotErr error
+			tc.launch(chaos, func(_ *cloud.Instance, err error) { gotErr = err })
+			sched.Run(1000)
+			if gotErr == nil {
+				t.Fatal("injected launch did not fail")
+			}
+			if !errors.Is(gotErr, cloudchaos.ErrInjected) {
+				t.Errorf("errors.Is(err, ErrInjected) = false for %v", gotErr)
+			}
+			if !errors.Is(gotErr, cloud.ErrCapacity) {
+				t.Errorf("errors.Is(err, ErrCapacity) = false for %v", gotErr)
+			}
+			if errors.Is(gotErr, cloud.ErrBadState) {
+				t.Errorf("injected launch failure wraps ErrBadState: %v", gotErr)
+			}
+		})
+	}
+}
+
+// Organic (non-injected) errors must NOT carry the injected marker.
+func TestChaosOrganicErrorsNotMarkedInjected(t *testing.T) {
+	sched, inner := flatPlatform(t)
+	chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{Seed: 1})
+	var gotErr error
+	chaos.RunOnDemand("no-such-type", "zone-a", func(_ *cloud.Instance, err error) { gotErr = err })
+	sched.Run(1000)
+	if gotErr == nil {
+		t.Fatal("unknown type launch succeeded")
+	}
+	if errors.Is(gotErr, cloudchaos.ErrInjected) {
+		t.Errorf("organic error carries ErrInjected: %v", gotErr)
+	}
+}
+
 func TestChaosDelaysCompletions(t *testing.T) {
 	sched, inner := flatPlatform(t)
 	chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{ExtraLatency: simkit.Minute, Seed: 2})

@@ -99,6 +99,11 @@ type Platform struct {
 	// spot instances grouped by market for revocation sweeps
 	spotByMarket map[spotmarket.MarketKey]map[cloud.InstanceID]*instanceState
 
+	// priceCursors give SpotPrice amortized-O(1) lookups: the controller's
+	// monitor loop samples every market each tick with sim time moving
+	// forward, so a per-market cursor beats re-binary-searching the trace.
+	priceCursors map[spotmarket.MarketKey]*spotmarket.Cursor
+
 	ipPool *ipPool
 
 	// liveCount tracks non-terminated instances per type for Capacity.
@@ -174,7 +179,7 @@ func (m *platMetrics) launched(market cloud.Market) {
 type instanceState struct {
 	inst        *cloud.Instance
 	market      spotmarket.MarketKey // spot only
-	forcedKill  *simkit.Event        // pending forced termination, if warned
+	forcedKill  simkit.Event         // pending forced termination, if warned
 	terminating bool
 	// reclaimed marks a spot instance the platform force-terminated (its
 	// final partial billing period is then free under period billing).
@@ -195,6 +200,7 @@ func New(sched *simkit.Scheduler, cfg Config) (*Platform, error) {
 		instances:    map[cloud.InstanceID]*instanceState{},
 		volumes:      map[cloud.VolumeID]*cloud.Volume{},
 		spotByMarket: map[spotmarket.MarketKey]map[cloud.InstanceID]*instanceState{},
+		priceCursors: make(map[spotmarket.MarketKey]*spotmarket.Cursor, len(cfg.Traces)),
 		ipPool:       newIPPool(cfg.VPC),
 		liveCount:    map[string]int{},
 		met:          newPlatMetrics(cfg.Metrics),
@@ -249,11 +255,29 @@ func (p *Platform) OnDemandPrice(typ string) (cloud.USD, error) {
 
 // SpotPrice implements cloud.Provider.
 func (p *Platform) SpotPrice(typ string, zone cloud.Zone) (cloud.USD, error) {
-	tr, err := p.trace(typ, zone)
+	cur, err := p.cursor(typ, zone)
 	if err != nil {
 		return 0, err
 	}
-	return tr.PriceAt(p.sched.Now()), nil
+	return cur.PriceAt(p.sched.Now()), nil
+}
+
+// cursor returns the market's shared price cursor, creating it on first
+// use. Callers only query at p.sched.Now(), which never moves backwards,
+// so one cursor per market serves every SpotPrice call.
+func (p *Platform) cursor(typ string, zone cloud.Zone) (*spotmarket.Cursor, error) {
+	key := spotmarket.MarketKey{Type: typ, Zone: zone}
+	if cur, ok := p.priceCursors[key]; ok {
+		return cur, nil
+	}
+	tr, ok := p.cfg.Traces[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: no spot market for %s/%s", cloud.ErrNotFound, typ, zone)
+	}
+	cur := new(spotmarket.Cursor)
+	*cur = tr.Cursor()
+	p.priceCursors[key] = cur
+	return cur, nil
 }
 
 func (p *Platform) trace(typ string, zone cloud.Zone) (*spotmarket.Trace, error) {
@@ -295,12 +319,12 @@ func (p *Platform) RequestSpot(typ string, zone cloud.Zone, bid cloud.USD, cb cl
 		cb(nil, fmt.Errorf("%w: type %q", cloud.ErrNotFound, typ))
 		return
 	}
-	tr, err := p.trace(typ, zone)
+	mcur, err := p.cursor(typ, zone)
 	if err != nil {
 		cb(nil, err)
 		return
 	}
-	if cur := tr.PriceAt(p.sched.Now()); bid <= cur {
+	if cur := mcur.PriceAt(p.sched.Now()); bid <= cur {
 		cb(nil, fmt.Errorf("%w: bid %v <= market %v for %s/%s", cloud.ErrBidTooLow, bid, cur, typ, zone))
 		return
 	}
@@ -325,8 +349,8 @@ func (p *Platform) RequestSpot(typ string, zone cloud.Zone, bid cloud.USD, cb cl
 		byMkt[st.inst.ID] = st
 		// The price may have spiked past the bid while the launch was
 		// pending; EC2 would warn immediately.
-		if tr.PriceAt(p.sched.Now()) > st.inst.Bid {
-			p.warn(st, tr.PriceAt(p.sched.Now()))
+		if price := mcur.PriceAt(p.sched.Now()); price > st.inst.Bid {
+			p.warn(st, price)
 		}
 	})
 }
@@ -397,9 +421,9 @@ func (p *Platform) destroy(st *instanceState) {
 	if st.inst.State == cloud.StateTerminated {
 		return
 	}
-	if st.forcedKill != nil {
+	if st.forcedKill.Pending() {
 		p.sched.Cancel(st.forcedKill)
-		st.forcedKill = nil
+		st.forcedKill = simkit.Event{}
 	}
 	p.liveCount[st.inst.Type.Name]--
 	st.inst.State = cloud.StateTerminated
@@ -480,13 +504,15 @@ func (p *Platform) periodBilledCost(st *instanceState, end simkit.Time) (cloud.U
 	inst := st.inst
 	inc := p.cfg.BillingIncrement
 	incHours := inc.Hours()
-	var tr *spotmarket.Trace
+	var cur spotmarket.Cursor
 	if inst.Market == cloud.MarketSpot {
-		var err error
-		tr, err = p.trace(inst.Type.Name, inst.Zone)
+		tr, err := p.trace(inst.Type.Name, inst.Zone)
 		if err != nil {
 			return 0, err
 		}
+		// Period starts walk forward; a cursor makes the per-period price
+		// lookup O(1) instead of a binary search per billing increment.
+		cur = tr.Cursor()
 	}
 	var total float64
 	for start := inst.Launched; start < end; start += inc {
@@ -497,7 +523,7 @@ func (p *Platform) periodBilledCost(st *instanceState, end simkit.Time) (cloud.U
 		}
 		rate := float64(inst.Type.OnDemand)
 		if inst.Market == cloud.MarketSpot {
-			rate = float64(tr.PriceAt(start))
+			rate = float64(cur.PriceAt(start))
 		}
 		total += rate * incHours
 	}
@@ -512,9 +538,13 @@ func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
 	if p.met != nil {
 		ticks = p.met.reg.Counter(metricPriceTicks, obs.L("market", key.String()))
 	}
+	// The walk visits price changes strictly forward; a private cursor
+	// (separate from the SpotPrice one, which trails at Now) keeps each
+	// step O(1).
+	cur := tr.Cursor()
 	var step func(from simkit.Time)
 	step = func(from simkit.Time) {
-		next, ok := tr.NextChangeAfter(from)
+		next, ok := cur.NextChangeAfter(from)
 		if !ok {
 			return
 		}
@@ -522,7 +552,7 @@ func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
 			if ticks != nil {
 				ticks.Inc()
 			}
-			price := tr.PriceAt(next)
+			price := cur.PriceAt(next)
 			for _, st := range p.spotInstancesSorted(key) {
 				if st.inst.State == cloud.StateRunning && price > st.inst.Bid {
 					p.warn(st, price)
@@ -571,7 +601,7 @@ func (p *Platform) warn(st *instanceState, price cloud.USD) {
 		p.met.warnings.Inc()
 	}
 	st.forcedKill = p.sched.At(deadline, "forced-kill "+string(st.inst.ID), func() {
-		st.forcedKill = nil
+		st.forcedKill = simkit.Event{}
 		if st.inst.State == cloud.StateTerminated {
 			return
 		}

@@ -187,7 +187,7 @@ type vmState struct {
 	// pendingRelease marks a VM whose customer released it mid-migration.
 	pendingRelease bool
 	// lazyDegradeEvent tracks the post-restore demand-paging window.
-	lazyDegradeEvent *simkit.Event
+	lazyDegradeEvent simkit.Event
 	// restoreSrv holds the backup server serving an in-progress lazy
 	// restore (so its restore slot is released even on early teardown).
 	restoreSrv *backup.Server
@@ -270,6 +270,10 @@ type Controller struct {
 	// prevPrice holds the previous monitor sample per market (for the
 	// predictive trend check).
 	prevPrice map[spotmarket.MarketKey]cloud.USD
+	// prevPriceSpare is the idle half of the monitor's double-buffered
+	// sample maps: each tick swaps it in (cleared) instead of copying,
+	// so the per-tick snapshot allocates nothing.
+	prevPriceSpare map[spotmarket.MarketKey]cloud.USD
 
 	// met holds the pre-resolved observability instruments; Stats() derives
 	// ControllerStats from it.
@@ -279,7 +283,7 @@ type Controller struct {
 	storms []StormEvent
 
 	// monitorEvent is the pending monitor tick, cancelled on Shutdown.
-	monitorEvent *simkit.Event
+	monitorEvent simkit.Event
 	// shutdown marks a drained controller: no new spares or placements.
 	shutdown bool
 }

@@ -142,9 +142,9 @@ func (c *Controller) migrateVM(vs *vmState, reason migrationReason, deadline sim
 // endLazyWindow cancels an in-progress lazy-restore degradation window
 // (e.g. the VM migrates again, or is released, mid-prefetch).
 func (c *Controller) endLazyWindow(vs *vmState) {
-	if vs.lazyDegradeEvent != nil {
+	if vs.lazyDegradeEvent.Pending() {
 		c.sched.Cancel(vs.lazyDegradeEvent)
-		vs.lazyDegradeEvent = nil
+		vs.lazyDegradeEvent = simkit.Event{}
 	}
 	if vs.restoreSrv != nil {
 		vs.restoreSrv.EndRestore()
@@ -422,7 +422,7 @@ func (c *Controller) restoreOnDestination(vs *vmState, src, dst *hostState, stag
 			vm.Ledger.Set(nestedvm.CondDegraded, c.sched.Now())
 			vs.restoreSrv = srv
 			vs.lazyDegradeEvent = c.sched.After(res.DegradedTime, "prefetch-done "+string(vm.ID), func() {
-				vs.lazyDegradeEvent = nil
+				vs.lazyDegradeEvent = simkit.Event{}
 				c.endLazyWindow(vs)
 				if vs.phase == phaseRunning {
 					vm.Ledger.Set(nestedvm.CondNormal, c.sched.Now())
@@ -603,7 +603,7 @@ func (c *Controller) tryReturn(vs *vmState) {
 		return
 	}
 	// Let an in-progress lazy restoration finish before moving again.
-	if vs.lazyDegradeEvent != nil {
+	if vs.lazyDegradeEvent.Pending() {
 		return
 	}
 	// Return to the VM's home pool so the placement policy's distribution

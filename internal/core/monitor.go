@@ -17,9 +17,10 @@ import (
 func (c *Controller) startMonitor() {
 	c.lastAboveOD = map[spotmarket.MarketKey]simkit.Time{}
 	c.prevPrice = map[spotmarket.MarketKey]cloud.USD{}
+	c.prevPriceSpare = map[spotmarket.MarketKey]cloud.USD{}
 	var tick func()
 	tick = func() {
-		c.monitorEvent = nil
+		c.monitorEvent = simkit.Event{}
 		if c.shutdown {
 			return
 		}
@@ -40,19 +41,20 @@ func (c *Controller) startMonitor() {
 
 // stopMonitor cancels the pending monitor tick (idempotent).
 func (c *Controller) stopMonitor() {
-	if c.monitorEvent != nil {
-		c.sched.Cancel(c.monitorEvent)
-		c.monitorEvent = nil
-	}
+	c.sched.Cancel(c.monitorEvent)
+	c.monitorEvent = simkit.Event{}
 }
 
-// snapshotPrices copies the previous tick's samples before they are
-// overwritten.
+// snapshotPrices hands the previous tick's samples to the caller and swaps
+// in the cleared spare map for this tick's observations. The two maps
+// alternate tick over tick — a zero-allocation double buffer instead of a
+// fresh copy every tick. The returned map is only valid until the next
+// tick swaps it back in.
 func (c *Controller) snapshotPrices() map[spotmarket.MarketKey]cloud.USD {
-	prev := make(map[spotmarket.MarketKey]cloud.USD, len(c.prevPrice))
-	for k, v := range c.prevPrice {
-		prev[k] = v
-	}
+	prev := c.prevPrice
+	clear(c.prevPriceSpare)
+	c.prevPrice = c.prevPriceSpare
+	c.prevPriceSpare = prev
 	return prev
 }
 

@@ -20,7 +20,7 @@ func TestShutdownStopsMonitor(t *testing.T) {
 		t.Fatal("monitor never ticked before shutdown")
 	}
 	r.ctrl.Shutdown()
-	if r.ctrl.monitorEvent != nil {
+	if r.ctrl.monitorEvent.Pending() {
 		t.Error("Shutdown left a monitor tick pending")
 	}
 	// Drain everything left in the queue. With the monitor still

@@ -50,14 +50,17 @@ func BidCurve(tr *spotmarket.Trace, od cloud.USD, ratios []float64, downtimePerM
 		p := 1 - below
 
 		// E(c_spot | spot <= bid): mean price during the below-bid time.
+		// Iterate segments in place — copying the point slice per ratio
+		// (tr.Points) made this loop the curve's allocation hot spot.
 		var spotMean float64
 		if below > 0 {
 			var integral float64 // $·hr accumulated while below bid
-			pts := tr.Points()
-			for i, pt := range pts {
+			n := tr.Len()
+			for i := 0; i < n; i++ {
+				pt := tr.PointAt(i)
 				segEnd := tr.End()
-				if i+1 < len(pts) {
-					segEnd = pts[i+1].T
+				if i+1 < n {
+					segEnd = tr.PointAt(i + 1).T
 				}
 				if pt.Price <= bid {
 					integral += float64(pt.Price) * segEnd.Sub(pt.T).Hours()

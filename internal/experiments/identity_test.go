@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"testing"
+
+	"repro/internal/simkit"
+)
+
+// policyMatrixDigest renders the Figure 10-12 matrix and Table 3 for a
+// small fixed scenario and hashes the bytes.
+func policyMatrixDigest(t *testing.T) string {
+	t.Helper()
+	m, err := PolicyMatrix(4, 10*simkit.Day, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Fig10Bars(m).String() + Fig11Bars(m).String() + Fig12Bars(m).String()
+	t3, err := Table3(4, 10*simkit.Day, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += Table3Render(t3, 4).String()
+	sum := sha256.Sum256([]byte(out))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestPolicyMatrixGoldenDigest pins the full simulation pipeline to a
+// golden digest captured on linux/amd64 BEFORE the scheduler heap/free-list
+// rewrite and the trace-cursor switch: the hot-path overhaul must change
+// speed, not results. Any intentional behaviour change must update this
+// constant (and say so in the commit).
+//
+// The digest covers rendered Figs 10-12 and Table 3 at bench scale — every
+// layer from the price generator through the event scheduler, controller,
+// billing and report rendering feeds those bytes.
+//
+// Amd64-only: float64 results are identical across runs on one
+// architecture, but other GOARCHes may fuse multiply-adds differently.
+func TestPolicyMatrixGoldenDigest(t *testing.T) {
+	const golden = "c3275d646cd23b2803efe383ca1a4426b0660c9cee203c1790024bb4904cfc9d"
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden digest pinned on amd64, running on %s", runtime.GOARCH)
+	}
+	if got := policyMatrixDigest(t); got != golden {
+		t.Errorf("PolicyMatrix digest drifted:\n got %s\nwant %s", got, golden)
+	}
+}
+
+// TestPolicyMatrixRunToRunIdentity is the architecture-independent half of
+// the byte-identity pin: two full runs under the same seed must render
+// identical bytes (the scheduler free list, price cursors and double-
+// buffered monitor maps may not leak state between runs).
+func TestPolicyMatrixRunToRunIdentity(t *testing.T) {
+	if a, b := policyMatrixDigest(t), policyMatrixDigest(t); a != b {
+		t.Errorf("same-seed PolicyMatrix runs differ: %s vs %s", a, b)
+	}
+}

@@ -30,9 +30,10 @@ func Fig1(seed int64) (analysis.Series, error) {
 		return analysis.Series{}, err
 	}
 	var xs, ys []float64
+	cur := tr.Cursor()
 	for t := simkit.Time(0); t < horizon; t += 10 * simkit.Minute {
 		xs = append(xs, t.Hours())
-		ys = append(ys, float64(tr.PriceAt(t)))
+		ys = append(ys, float64(cur.PriceAt(t)))
 	}
 	return analysis.Series{
 		Name: fmt.Sprintf("Fig 1: m1.small spot price ($/hr) over %.0f hours (on-demand $%.2f)", horizon.Hours(), float64(od)),

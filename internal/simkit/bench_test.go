@@ -23,7 +23,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 func BenchmarkSchedulerMixed(b *testing.B) {
 	s := NewScheduler()
 	r := rand.New(rand.NewSource(1))
-	var pending []*Event
+	var pending []Event
 	for i := 0; i < b.N; i++ {
 		e := s.After(Time(r.Intn(10000))*Millisecond, "m", func() {
 			s.After(Millisecond, "child", func() {})

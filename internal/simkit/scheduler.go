@@ -1,66 +1,78 @@
 package simkit
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel pending events (e.g. a forced spot termination that is
-// preempted by the migration finishing early).
-type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 once popped or canceled
-	fn       func()
-	canceled bool
-	label    string
+// event is one slot in the scheduler's slab: the live state of a scheduled
+// callback. Slots are allocated in chunks and recycled through a free list,
+// so steady-state scheduling performs no per-event allocation. A slot's gen
+// increments every time it is reused for a new event; handles carry the gen
+// they were issued under, which is what keeps stale handles inert after the
+// slot has been recycled.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	label string
+	gen   uint64 // occupancy generation; bumped on slot reuse
+	cgen  uint64 // gen of the most recent canceled occupancy (0 = none)
+	index int32  // heap position, -1 when not pending
 }
 
-// At reports when the event fires.
-func (e *Event) At() Time { return e.at }
+// eventChunk is how many slots a slab allocation carries. Chunking keeps
+// the allocation rate at one per eventChunk events even before the free
+// list reaches steady state.
+const eventChunk = 128
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
+// Event is a weak, generation-checked handle to a scheduled callback,
+// returned by the scheduling methods so callers can cancel pending events
+// (e.g. a forced spot termination that is preempted by the migration
+// finishing early). The zero Event refers to nothing; Cancel on it is a
+// no-op.
+//
+// Handles stay safe after their event fires or is canceled: the scheduler
+// recycles the underlying slot, and a later Cancel through a stale handle
+// sees a generation mismatch and does nothing — it can never touch the
+// slot's next occupant or corrupt the heap.
+type Event struct {
+	e     *event
+	gen   uint64
+	at    Time
+	label string
+}
+
+// At reports when the event fires (or fired). It stays valid for the
+// lifetime of the handle.
+func (h Event) At() Time { return h.at }
 
 // Label returns the diagnostic label supplied at scheduling time.
-func (e *Event) Label() string { return e.label }
+func (h Event) Label() string { return h.label }
 
-type eventHeap []*Event
+// Canceled reports whether Cancel was called on this event before it fired.
+// Events that fired normally — including events Cancel was called on only
+// after they fired — report false. The answer is generation-checked, so a
+// handle whose slot has been recycled for later events keeps reporting its
+// own outcome (until the slot's current occupant is itself canceled, which
+// reclaims the cancellation mark).
+func (h Event) Canceled() bool { return h.e != nil && h.e.cgen == h.gen }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// Pending reports whether the event is still queued: not yet fired and not
+// canceled.
+func (h Event) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
 }
 
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use: simulations are deterministic single-goroutine runs.
+//
+// The pending queue is a hand-rolled binary min-heap over (at, seq) — no
+// container/heap interface boxing on the dispatch hot path — and fired or
+// canceled events are recycled through a free list, so steady-state
+// scheduling allocates nothing.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	pending eventHeap
+	pending []*event // binary min-heap ordered by (at, seq)
+	free    []*event // recycled slots awaiting reuse
 	fired   uint64
 }
 
@@ -76,57 +88,185 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // Pending reports the number of events still queued.
 func (s *Scheduler) Pending() int { return len(s.pending) }
 
+// alloc takes a slot off the free list, or carves a fresh chunk when the
+// list is empty. The returned slot has a new generation.
+func (s *Scheduler) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.gen++
+		return e
+	}
+	chunk := make([]event, eventChunk)
+	for i := 1; i < eventChunk; i++ {
+		s.free = append(s.free, &chunk[i])
+	}
+	e := &chunk[0]
+	e.gen = 1
+	return e
+}
+
+// recycle returns an ended (fired or canceled) slot to the free list,
+// dropping the closure so it can be collected.
+func (s *Scheduler) recycle(e *event) {
+	e.fn = nil
+	e.label = ""
+	e.index = -1
+	s.free = append(s.free, e)
+}
+
+// less orders the heap: earliest time first, FIFO among simultaneous
+// events. (at, seq) is unique per event, so the order is total and the pop
+// sequence is independent of the heap's internal layout.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp moves pending[i] toward the root until the heap property holds.
+// It moves the element once, shifting parents down into the hole.
+func (s *Scheduler) siftUp(i int) {
+	h := s.pending
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if !less(e, p) {
+			break
+		}
+		h[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+// siftDown moves pending[i] toward the leaves until the heap property
+// holds.
+func (s *Scheduler) siftDown(i int) {
+	h := s.pending
+	n := len(h)
+	e := h[i]
+	for {
+		left := 2*i + 1
+		if left >= n || left < 0 { // left < 0 after int overflow
+			break
+		}
+		m := left
+		if right := left + 1; right < n && less(h[right], h[left]) {
+			m = right
+		}
+		if !less(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = int32(i)
+		i = m
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+// push appends e and restores the heap property.
+func (s *Scheduler) push(e *event) {
+	s.pending = append(s.pending, e)
+	s.siftUp(len(s.pending) - 1)
+}
+
+// popRoot removes and returns the earliest pending event.
+func (s *Scheduler) popRoot() *event {
+	h := s.pending
+	n := len(h)
+	root := h[0]
+	last := h[n-1]
+	h[n-1] = nil
+	s.pending = h[:n-1]
+	if n > 1 {
+		s.pending[0] = last
+		s.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+// remove deletes the pending event at heap position i.
+func (s *Scheduler) remove(i int) {
+	h := s.pending
+	n := len(h)
+	e := h[i]
+	last := h[n-1]
+	h[n-1] = nil
+	s.pending = h[:n-1]
+	if i < n-1 {
+		s.pending[i] = last
+		last.index = int32(i)
+		s.siftDown(i)
+		if s.pending[i] == last {
+			s.siftUp(i)
+		}
+	}
+	e.index = -1
+}
+
 // At schedules fn at absolute virtual time t. Scheduling in the past panics:
 // it would silently reorder causality, which is always a bug in the caller.
-func (s *Scheduler) At(t Time, label string, fn func()) *Event {
+func (s *Scheduler) At(t Time, label string, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("simkit: scheduling %q at %v, before now %v", label, t, s.now))
 	}
 	if fn == nil {
 		panic("simkit: nil event func")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, label: label}
+	e := s.alloc()
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.label = label
 	s.seq++
-	heap.Push(&s.pending, e)
-	return e
+	s.push(e)
+	return Event{e: e, gen: e.gen, at: t, label: label}
 }
 
 // After schedules fn at now+d.
-func (s *Scheduler) After(d Time, label string, fn func()) *Event {
+func (s *Scheduler) After(d Time, label string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simkit: negative delay %v for %q", d, label))
 	}
 	return s.At(s.now+d, label, fn)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a harmless no-op.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+// Cancel removes a pending event. Canceling an already-fired, already-
+// canceled or zero event is a harmless no-op: the generation check makes
+// stale handles inert even after their slot has been recycled.
+func (s *Scheduler) Cancel(h Event) {
+	e := h.e
+	if e == nil || e.gen != h.gen || e.index < 0 {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&s.pending, e.index)
-	e.index = -1
+	e.cgen = e.gen
+	s.remove(int(e.index))
+	s.recycle(e)
 }
 
 // Step executes the next pending event, advancing the clock to its time.
-// It reports false when the queue is empty.
+// It reports false when the queue is empty. The slot is recycled before the
+// callback runs, so an event rescheduling its successor reuses its own
+// slot — the common self-ticking pattern touches one cache line.
 func (s *Scheduler) Step() bool {
-	for len(s.pending) > 0 {
-		e := heap.Pop(&s.pending).(*Event)
-		if e.canceled {
-			continue
-		}
-		s.now = e.at
-		s.fired++
-		e.fn()
-		return true
+	if len(s.pending) == 0 {
+		return false
 	}
-	return false
+	e := s.popRoot()
+	s.now = e.at
+	s.fired++
+	fn := e.fn
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // RunUntil executes events in order until the queue is exhausted or the next

@@ -77,12 +77,182 @@ func TestSchedulerCancel(t *testing.T) {
 func TestSchedulerCancelDuringRun(t *testing.T) {
 	s := NewScheduler()
 	var fired bool
-	var victim *Event
+	var victim Event
 	s.At(Second, "canceler", func() { s.Cancel(victim) })
 	victim = s.At(2*Second, "victim", func() { fired = true })
 	s.Run(0)
 	if fired {
 		t.Error("event canceled mid-run still fired")
+	}
+}
+
+// Cancel after the event already fired must be a no-op: the event executed,
+// so Canceled() must stay false (a true here poisons trace diagnostics).
+func TestSchedulerCancelAfterFire(t *testing.T) {
+	s := NewScheduler()
+	var fired bool
+	e := s.At(Second, "x", func() { fired = true })
+	s.Run(0)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	s.Cancel(e) // no-op: already fired
+	if e.Canceled() {
+		t.Error("Canceled() = true for an event that fired")
+	}
+	if e.Pending() {
+		t.Error("Pending() = true after fire")
+	}
+	// The queue must still work normally afterwards.
+	var again bool
+	s.After(Second, "y", func() { again = true })
+	s.Run(0)
+	if !again {
+		t.Error("scheduler broken after cancel-after-fire")
+	}
+}
+
+func TestSchedulerDoubleCancel(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(Second, "x", func() { t.Error("canceled event fired") })
+	s.Cancel(e)
+	s.Cancel(e) // second cancel: no-op, state unchanged
+	if !e.Canceled() {
+		t.Error("Canceled() = false after double cancel")
+	}
+	s.Run(0)
+}
+
+// A handle held after its event fired must stay inert once the slot is
+// recycled for a new event: Cancel through the stale handle must neither
+// cancel the slot's new occupant nor corrupt the heap.
+func TestSchedulerStaleHandleAfterFire(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(Second, "old", func() {})
+	s.Run(0) // fires; slot goes to the free list
+
+	// Reuse the slot for a new event (white box: verify it really is the
+	// same slot, i.e. the free list recycles).
+	fresh := s.At(2*Second, "new", func() {})
+	if fresh.e != stale.e {
+		t.Fatalf("free list did not recycle the slot")
+	}
+	if fresh.gen == stale.gen {
+		t.Fatalf("recycled slot kept its generation")
+	}
+
+	s.Cancel(stale) // stale: generation mismatch, must be a no-op
+	if fresh.Canceled() || !fresh.Pending() {
+		t.Fatal("stale-handle Cancel hit the slot's new occupant")
+	}
+	if stale.Canceled() {
+		t.Error("stale handle reports Canceled after firing normally")
+	}
+	var fired bool
+	s.At(2*Second, "probe", func() { fired = true })
+	fresh2 := fresh // copies stay valid
+	s.Run(0)
+	if !fired || s.Pending() != 0 {
+		t.Error("heap corrupted by stale-handle Cancel")
+	}
+	if fresh2.Canceled() {
+		t.Error("recycled event that fired normally reports Canceled")
+	}
+}
+
+// Same inertness guarantee for handles of canceled events.
+func TestSchedulerStaleHandleAfterCancel(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(Second, "old", func() { t.Error("canceled event fired") })
+	s.Cancel(stale)
+	if !stale.Canceled() {
+		t.Fatal("Canceled() = false right after Cancel")
+	}
+
+	fresh := s.At(Second, "new", func() {})
+	if fresh.e != stale.e {
+		t.Fatalf("free list did not recycle the canceled slot")
+	}
+	// The old handle keeps reporting its own outcome across the reuse.
+	if !stale.Canceled() {
+		t.Error("stale handle lost its Canceled mark after slot reuse")
+	}
+	s.Cancel(stale) // no-op: stale generation
+	if !fresh.Pending() {
+		t.Fatal("stale-handle Cancel removed the new occupant")
+	}
+	s.Run(0)
+	if s.Pending() != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+// The zero Event is inert everywhere.
+func TestSchedulerZeroEvent(t *testing.T) {
+	s := NewScheduler()
+	var e Event
+	s.Cancel(e) // no-op
+	if e.Canceled() || e.Pending() || e.At() != 0 || e.Label() != "" {
+		t.Error("zero Event not inert")
+	}
+}
+
+// Steady-state scheduling must not allocate: after a warm-up burst, the
+// free list feeds every new event.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm up: grow the heap, slab and free list past steady state.
+	for i := 0; i < 4*eventChunk; i++ {
+		s.After(Time(i)*Millisecond, "warm", fn)
+	}
+	s.Run(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(Millisecond, "steady", fn)
+		s.Run(0)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state schedule+fire allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// Heavy interleaved schedule/cancel/fire churn with handle copies retained
+// across recycling: pop order must match a reference sort and the heap
+// must never lose or duplicate events.
+func TestSchedulerChurnOrdering(t *testing.T) {
+	s := NewScheduler()
+	type rec struct {
+		at  Time
+		seq int
+	}
+	var fired []rec
+	var handles []Event
+	n := 0
+	schedule := func(d Time) {
+		id := n
+		n++
+		handles = append(handles, s.After(d, "churn", func() {
+			fired = append(fired, rec{s.Now(), id})
+		}))
+	}
+	for round := 0; round < 50; round++ {
+		for k := 0; k < 20; k++ {
+			schedule(Time((k*37+round*11)%100) * Millisecond)
+		}
+		// Cancel every third handle ever issued — most are stale by now.
+		for i := 0; i < len(handles); i += 3 {
+			s.Cancel(handles[i])
+		}
+		s.RunUntil(s.Now() + 40*Millisecond)
+	}
+	s.Run(0)
+	for i := 1; i < len(fired); i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("events fired out of time order at %d: %v then %v", i, fired[i-1], fired[i])
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("events stranded in queue: %d", s.Pending())
 	}
 }
 

@@ -1,0 +1,123 @@
+package spotmarket
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// Cursor is a stateful reader over a Trace for time-ordered access. The
+// Trace methods binary-search the segment list on every call; the monitor
+// loop, the platform's price walk and the figure kernels all query time
+// moving forward, so a cursor remembers the last segment and advances
+// linearly from it — amortized O(1) per call over a monotone scan instead
+// of O(log n). Queries that jump backwards are still correct: the cursor
+// falls back to a binary search and re-anchors.
+//
+// A Cursor reads the shared immutable Trace and carries only its own
+// position, so any number of cursors can walk one trace concurrently (the
+// sweep engine's shared read-only trace sets); a single Cursor value is
+// not safe for concurrent use.
+type Cursor struct {
+	tr *Trace
+	i  int // index of the segment the last query landed in
+}
+
+// Cursor returns a new cursor positioned at the start of the trace.
+func (tr *Trace) Cursor() Cursor { return Cursor{tr: tr} }
+
+// Trace returns the underlying trace.
+func (c *Cursor) Trace() *Trace { return c.tr }
+
+// seek positions the cursor on the segment containing t and returns its
+// index: the last point with T <= t (0 when t precedes the first point).
+func (c *Cursor) seek(t simkit.Time) int {
+	pts := c.tr.points
+	i := c.i
+	if t < pts[i].T {
+		i = c.tr.segmentAt(t) // backwards jump: re-anchor
+	} else {
+		for i+1 < len(pts) && pts[i+1].T <= t {
+			i++
+		}
+	}
+	c.i = i
+	return i
+}
+
+// PriceAt returns the market price at time t, exactly as Trace.PriceAt.
+func (c *Cursor) PriceAt(t simkit.Time) cloud.USD {
+	if t < 0 {
+		return c.tr.points[0].Price
+	}
+	return c.tr.points[c.seek(t)].Price
+}
+
+// NextChangeAfter returns the time of the first price change strictly
+// after t, or ok=false when the price never changes again, exactly as
+// Trace.NextChangeAfter.
+func (c *Cursor) NextChangeAfter(t simkit.Time) (simkit.Time, bool) {
+	i := c.seek(t)
+	pts := c.tr.points
+	if pts[i].T > t { // only when t precedes the first point
+		return pts[i].T, true
+	}
+	if i+1 < len(pts) {
+		return pts[i+1].T, true
+	}
+	return 0, false
+}
+
+// Integrate returns the rental cost of [a, b) exactly as Trace.Integrate
+// (same segment walk, same summation order, bit-identical result), leaving
+// the cursor anchored near b for the next interval.
+func (c *Cursor) Integrate(a, b simkit.Time) cloud.USD {
+	if b <= a {
+		return 0
+	}
+	pts := c.tr.points
+	i := c.seek(a)
+	var total float64
+	cur := a
+	for cur < b {
+		segEnd := b
+		if i+1 < len(pts) && pts[i+1].T < b {
+			segEnd = pts[i+1].T
+		}
+		total += float64(pts[i].Price) * segEnd.Sub(cur).Hours()
+		cur = segEnd
+		if segEnd == b {
+			break
+		}
+		i++
+	}
+	c.i = i
+	return cloud.USD(total)
+}
+
+// FractionBelow returns the fraction of [a, b) at or below bid, exactly as
+// Trace.FractionBelow.
+func (c *Cursor) FractionBelow(bid cloud.USD, a, b simkit.Time) float64 {
+	if b <= a {
+		return 0
+	}
+	pts := c.tr.points
+	i := c.seek(a)
+	var below float64
+	cur := a
+	for cur < b {
+		segEnd := b
+		if i+1 < len(pts) && pts[i+1].T < b {
+			segEnd = pts[i+1].T
+		}
+		if pts[i].Price <= bid {
+			below += segEnd.Sub(cur).Hours()
+		}
+		cur = segEnd
+		if segEnd == b {
+			break
+		}
+		i++
+	}
+	c.i = i
+	return below / b.Sub(a).Hours()
+}

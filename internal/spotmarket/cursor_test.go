@@ -1,0 +1,151 @@
+package spotmarket
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// churnTrace builds a dense deterministic trace for cursor tests.
+func churnTrace(t testing.TB, points int, horizon simkit.Time) *Trace {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	pts := make([]Point, 0, points)
+	step := horizon / simkit.Time(points)
+	for i := 0; i < points; i++ {
+		// Strictly increasing times with jitter, positive price.
+		at := simkit.Time(i)*step + simkit.Time(r.Int63n(int64(step/2)))
+		if i == 0 {
+			at = 0
+		}
+		pts = append(pts, Point{T: at, Price: cloud.USD(0.01 + r.Float64())})
+	}
+	tr, err := NewTrace(pts, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// The cursor must agree with the Trace methods exactly — on monotone scans,
+// on backward jumps, and at segment boundaries.
+func TestCursorMatchesTrace(t *testing.T) {
+	tr := churnTrace(t, 500, 45*simkit.Day)
+	cur := tr.Cursor()
+	r := rand.New(rand.NewSource(9))
+
+	// Monotone sweep including exact boundary times.
+	var ts []simkit.Time
+	for i := 0; i < tr.Len(); i++ {
+		ts = append(ts, tr.PointAt(i).T)
+	}
+	for x := simkit.Time(0); x < tr.End(); x += 37 * simkit.Minute {
+		ts = append(ts, x)
+	}
+	// Sort the probe times (insertion keeps test dependencies stdlib-only).
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	for _, x := range ts {
+		if got, want := cur.PriceAt(x), tr.PriceAt(x); got != want {
+			t.Fatalf("cursor PriceAt(%v) = %v, trace says %v", x, got, want)
+		}
+		gn, gok := cur.NextChangeAfter(x)
+		wn, wok := tr.NextChangeAfter(x)
+		if gn != wn || gok != wok {
+			t.Fatalf("cursor NextChangeAfter(%v) = (%v,%v), trace says (%v,%v)", x, gn, gok, wn, wok)
+		}
+	}
+
+	// Random access, including backward jumps and negative times.
+	for i := 0; i < 2000; i++ {
+		x := simkit.Time(r.Int63n(int64(tr.End()))) - simkit.Hour
+		if got, want := cur.PriceAt(x), tr.PriceAt(x); got != want {
+			t.Fatalf("random PriceAt(%v) = %v, trace says %v", x, got, want)
+		}
+	}
+}
+
+// Cursor Integrate/FractionBelow must be bit-identical to the Trace
+// versions: same segment walk, same summation order.
+func TestCursorIntegralsBitIdentical(t *testing.T) {
+	tr := churnTrace(t, 300, 10*simkit.Day)
+	cur := tr.Cursor()
+	r := rand.New(rand.NewSource(3))
+	// Monotone interval chain (the billing pattern)...
+	var a simkit.Time
+	for a < tr.End() {
+		b := a + simkit.Time(r.Int63n(int64(6*simkit.Hour)))
+		if b > tr.End() {
+			b = tr.End()
+		}
+		if float64(cur.Integrate(a, b)) != float64(tr.Integrate(a, b)) {
+			t.Fatalf("Integrate(%v,%v) differs from trace", a, b)
+		}
+		a = b + simkit.Minute
+	}
+	// ...and random intervals with rewinds.
+	for i := 0; i < 500; i++ {
+		x := simkit.Time(r.Int63n(int64(tr.End())))
+		y := simkit.Time(r.Int63n(int64(tr.End())))
+		if x > y {
+			x, y = y, x
+		}
+		if got, want := cur.Integrate(x, y), tr.Integrate(x, y); float64(got) != float64(want) {
+			t.Fatalf("Integrate(%v,%v) = %v, trace says %v", x, y, got, want)
+		}
+		bid := cloud.USD(0.01 + r.Float64())
+		if got, want := cur.FractionBelow(bid, x, y), tr.FractionBelow(bid, x, y); got != want {
+			t.Fatalf("FractionBelow(%v,%v,%v) = %v, trace says %v", bid, x, y, got, want)
+		}
+	}
+}
+
+// The single-pass AvailabilityCurve must stay bit-identical to evaluating
+// FractionBelow per ratio (it feeds Figure 6a).
+func TestAvailabilityCurveSinglePassIdentical(t *testing.T) {
+	tr := churnTrace(t, 400, 20*simkit.Day)
+	const od = cloud.USD(0.07)
+	ratios := []float64{0, 0.1, 0.25, 0.5, 0.8, 1.0, 1.3, 2.0}
+	got := AvailabilityCurve(tr, od, ratios)
+	for i, ratio := range ratios {
+		want := tr.FractionBelow(cloud.USD(float64(od)*ratio), 0, tr.End())
+		if got[i] != want {
+			t.Fatalf("ratio %v: curve %v != FractionBelow %v (diff %g)",
+				ratio, got[i], want, math.Abs(got[i]-want))
+		}
+	}
+}
+
+// BenchmarkTraceSequentialScan pins the cursor's reason to exist: a
+// forward scan (the monitor loop's access pattern) through the trace at
+// 1-minute resolution, via repeated Trace.PriceAt binary searches versus
+// one cursor.
+func BenchmarkTraceSequentialScan(b *testing.B) {
+	tr := churnTrace(b, 4096, 45*simkit.Day)
+	const tick = simkit.Minute
+	b.Run("trace-priceat", func(b *testing.B) {
+		var sink cloud.USD
+		for i := 0; i < b.N; i++ {
+			for t := simkit.Time(0); t < tr.End(); t += tick {
+				sink += tr.PriceAt(t)
+			}
+		}
+		_ = sink
+	})
+	b.Run("cursor", func(b *testing.B) {
+		var sink cloud.USD
+		for i := 0; i < b.N; i++ {
+			cur := tr.Cursor()
+			for t := simkit.Time(0); t < tr.End(); t += tick {
+				sink += cur.PriceAt(t)
+			}
+		}
+		_ = sink
+	})
+}

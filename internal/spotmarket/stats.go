@@ -16,11 +16,35 @@ func AvailabilityAtBid(tr *Trace, bid cloud.USD) float64 {
 }
 
 // AvailabilityCurve evaluates availability at each bid/on-demand ratio,
-// reproducing one line of Figure 6a.
+// reproducing one line of Figure 6a. It walks the trace once, crediting
+// each segment's duration to every qualifying bid level, instead of
+// re-scanning the whole trace per ratio; each ratio's accumulator still
+// receives the same additions in the same segment order as a per-ratio
+// FractionBelow call, so the results are bit-identical.
 func AvailabilityCurve(tr *Trace, onDemand cloud.USD, ratios []float64) []float64 {
-	out := make([]float64, len(ratios))
+	bids := make([]cloud.USD, len(ratios))
 	for i, r := range ratios {
-		out[i] = AvailabilityAtBid(tr, cloud.USD(float64(onDemand)*r))
+		bids[i] = cloud.USD(float64(onDemand) * r)
+	}
+	below := make([]float64, len(ratios))
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		p := tr.PointAt(i)
+		segEnd := tr.End()
+		if i+1 < n {
+			segEnd = tr.PointAt(i + 1).T
+		}
+		hours := segEnd.Sub(p.T).Hours()
+		for j, bid := range bids {
+			if p.Price <= bid {
+				below[j] += hours
+			}
+		}
+	}
+	total := tr.End().Hours()
+	out := make([]float64, len(ratios))
+	for j := range out {
+		out[j] = below[j] / total
 	}
 	return out
 }

@@ -60,8 +60,14 @@ func (tr *Trace) End() simkit.Time { return tr.end }
 // Len reports the number of price changes.
 func (tr *Trace) Len() int { return len(tr.points) }
 
-// Points returns a copy of the price-change points.
+// Points returns a copy of the price-change points. Hot paths that only
+// iterate should prefer PointAt/Len (no copy) or a Cursor.
 func (tr *Trace) Points() []Point { return append([]Point(nil), tr.points...) }
+
+// PointAt returns the i-th price-change point without copying the whole
+// trace. The segment starting at PointAt(i) ends at PointAt(i+1).T, or at
+// End() for the last point.
+func (tr *Trace) PointAt(i int) Point { return tr.points[i] }
 
 // segmentAt returns the index of the segment containing t.
 func (tr *Trace) segmentAt(t simkit.Time) int {
@@ -209,8 +215,9 @@ func (tr *Trace) SampleGrid(interval simkit.Time) []float64 {
 	}
 	n := int(tr.end / interval)
 	out := make([]float64, 0, n)
+	cur := tr.Cursor()
 	for t := simkit.Time(0); t < tr.end; t += interval {
-		out = append(out, float64(tr.PriceAt(t)))
+		out = append(out, float64(cur.PriceAt(t)))
 	}
 	return out
 }
