@@ -116,7 +116,7 @@ func TestListAndUsage(t *testing.T) {
 	if code := run(&stdout, &stderr, "", true, nil); code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, want := range []string{"determinism", "metrichygiene", "panicdiscipline", "goroutines"} {
+	for _, want := range []string{"determinism", "metrichygiene", "panicdiscipline", "goroutines", "tracecopy"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("-list missing %q:\n%s", want, stdout.String())
 		}

@@ -101,7 +101,7 @@ func AblationSlicing(vms int, horizon simkit.Time, seed int64, workers ...int) (
 	c := configs[spotmarket.MarketKey{Type: cloud.M3Large, Zone: EvalZone}]
 	c.BaseRatio = 0.06 // large trades at 6% of OD => 0.0084/2 slots = 0.0042
 	configs[spotmarket.MarketKey{Type: cloud.M3Large, Zone: EvalZone}] = c
-	traces, err := spotmarket.GenerateSet(configs, horizon, seed)
+	traces, err := spotmarket.GenerateSet(configs, horizon, seed, sweepWorkers(workers))
 	if err != nil {
 		return SlicingAblation{}, err
 	}
@@ -383,7 +383,7 @@ func AblationZoneSpread(vms int, horizon simkit.Time, seed int64, workers ...int
 			spotmarket.DefaultConfig(0.07, spotmarket.VolatilityHigh)
 	}
 	// One generation, shared read-only by both arms.
-	traces, err := spotmarket.GenerateSet(configs, horizon, seed)
+	traces, err := spotmarket.GenerateSet(configs, horizon, seed, sweepWorkers(workers))
 	if err != nil {
 		return ZoneSpreadAblation{}, err
 	}

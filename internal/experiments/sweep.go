@@ -77,8 +77,10 @@ type traceKey struct {
 // fillSharedTraces generates the default trace set once per (horizon, seed)
 // and hands the same read-only spotmarket.Set to every spec that would
 // otherwise regenerate it inside RunPolicy. Specs with explicit traces are
-// left alone. The specs slice is mutated in place; Sweep passes a copy.
-func fillSharedTraces(specs []RunSpec) error {
+// left alone. The sweep's worker budget is reused for the generation
+// itself, so a multi-market set parallelizes before the first cell runs.
+// The specs slice is mutated in place; Sweep passes a copy.
+func fillSharedTraces(specs []RunSpec, workers int) error {
 	cache := map[traceKey]spotmarket.Set{}
 	for i := range specs {
 		cfg := &specs[i].Cfg
@@ -93,7 +95,7 @@ func fillSharedTraces(specs []RunSpec) error {
 		set, ok := cache[key]
 		if !ok {
 			var err error
-			set, err = EvalTraces(h, key.seed)
+			set, err = EvalTraces(h, key.seed, workers)
 			if err != nil {
 				return fmt.Errorf("experiments: shared traces for %v/seed=%d: %w", h, key.seed, err)
 			}
@@ -115,7 +117,7 @@ func Sweep(specs []RunSpec, opt SweepOptions) ([]PolicyRunResult, error) {
 	// Copy so shared-trace filling never mutates the caller's specs.
 	specs = append([]RunSpec(nil), specs...)
 	if !opt.PerRunTraces {
-		if err := fillSharedTraces(specs); err != nil {
+		if err := fillSharedTraces(specs, opt.Workers); err != nil {
 			return nil, err
 		}
 	}

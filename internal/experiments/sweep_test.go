@@ -96,7 +96,7 @@ func TestSweepSharedTraces(t *testing.T) {
 	specs := sweepSpecs(4)
 	specs[2].Cfg.Seed = 43 // different seed: must not share
 	specs[3].Cfg.Traces = explicit
-	if err := fillSharedTraces(specs); err != nil {
+	if err := fillSharedTraces(specs, 0); err != nil {
 		t.Fatal(err)
 	}
 	key := spotmarket.MarketKey{Type: cloud.M3Medium, Zone: EvalZone}

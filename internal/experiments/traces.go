@@ -35,8 +35,10 @@ func evalVolatilities() map[string]spotmarket.Volatility {
 }
 
 // EvalTraces generates the four-market trace set used by the policy
-// simulations and the Figure 6a/6b statistics.
-func EvalTraces(horizon simkit.Time, seed int64) (spotmarket.Set, error) {
+// simulations and the Figure 6a/6b statistics. The optional trailing
+// argument bounds GenerateSet's worker pool (absent or <= 0 means
+// GOMAXPROCS); traces are byte-identical at every worker count.
+func EvalTraces(horizon simkit.Time, seed int64, workers ...int) (spotmarket.Set, error) {
 	vols := evalVolatilities()
 	configs := map[spotmarket.MarketKey]spotmarket.GenConfig{}
 	for _, typ := range cloud.DefaultCatalog() {
@@ -47,12 +49,13 @@ func EvalTraces(horizon simkit.Time, seed int64) (spotmarket.Set, error) {
 		key := spotmarket.MarketKey{Type: typ.Name, Zone: EvalZone}
 		configs[key] = spotmarket.DefaultConfig(typ.OnDemand, vol)
 	}
-	return spotmarket.GenerateSet(configs, horizon, seed)
+	return spotmarket.GenerateSet(configs, horizon, seed, workers...)
 }
 
 // ZoneTraces generates n same-type markets across synthetic zones for the
-// Figure 6c cross-zone correlation matrix.
-func ZoneTraces(n int, horizon simkit.Time, seed int64) (spotmarket.Set, []spotmarket.MarketKey, error) {
+// Figure 6c cross-zone correlation matrix. The optional trailing argument
+// bounds GenerateSet's worker pool.
+func ZoneTraces(n int, horizon simkit.Time, seed int64, workers ...int) (spotmarket.Set, []spotmarket.MarketKey, error) {
 	configs := map[spotmarket.MarketKey]spotmarket.GenConfig{}
 	keys := make([]spotmarket.MarketKey, 0, n)
 	for i := 1; i <= n; i++ {
@@ -63,13 +66,14 @@ func ZoneTraces(n int, horizon simkit.Time, seed int64) (spotmarket.Set, []spotm
 		configs[key] = spotmarket.DefaultConfig(0.07, spotmarket.VolatilityMedium)
 		keys = append(keys, key)
 	}
-	set, err := spotmarket.GenerateSet(configs, horizon, seed)
+	set, err := spotmarket.GenerateSet(configs, horizon, seed, workers...)
 	return set, keys, err
 }
 
 // TypeTraces generates n distinct-type markets in one zone for the
-// Figure 6d cross-type correlation matrix.
-func TypeTraces(n int, horizon simkit.Time, seed int64) (spotmarket.Set, []spotmarket.MarketKey, error) {
+// Figure 6d cross-type correlation matrix. The optional trailing argument
+// bounds GenerateSet's worker pool.
+func TypeTraces(n int, horizon simkit.Time, seed int64, workers ...int) (spotmarket.Set, []spotmarket.MarketKey, error) {
 	configs := map[spotmarket.MarketKey]spotmarket.GenConfig{}
 	keys := make([]spotmarket.MarketKey, 0, n)
 	for i := 1; i <= n; i++ {
@@ -81,6 +85,6 @@ func TypeTraces(n int, horizon simkit.Time, seed int64) (spotmarket.Set, []spotm
 		configs[key] = spotmarket.DefaultConfig(od, spotmarket.VolatilityMedium)
 		keys = append(keys, key)
 	}
-	set, err := spotmarket.GenerateSet(configs, horizon, seed)
+	set, err := spotmarket.GenerateSet(configs, horizon, seed, workers...)
 	return set, keys, err
 }

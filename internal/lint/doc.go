@@ -14,6 +14,9 @@
 //   - goroutines: every go statement in non-test code needs a visible
 //     cancellation path (context, WaitGroup, or done channel) in its
 //     enclosing function.
+//   - tracecopy: Trace.Points() copies the whole multi-thousand-point trace;
+//     the simulation hot-path packages must iterate via PointAt/Len or a
+//     Cursor instead (the PR 4/5 hot-path contract).
 //
 // The framework is stdlib-only (go/ast, go/parser, go/token): it walks a
 // module, parses packages syntactically, and runs per-file Analyzers that

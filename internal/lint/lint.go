@@ -232,7 +232,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MetricHygiene, PanicDiscipline, Goroutines}
+	return []*Analyzer{Determinism, MetricHygiene, PanicDiscipline, Goroutines, TraceCopy}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

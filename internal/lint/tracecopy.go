@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TraceCopyPackages are the simulation hot-path packages where a
+// Trace.Points() call is a performance bug waiting to recur: Points()
+// copies the whole multi-thousand-point trace on every call, and the PR 4/5
+// overhauls moved every hot reader onto PointAt/Len or a Cursor. The set is
+// the deterministic-simulation packages — the same code that runs inside
+// the six-month sweeps.
+var TraceCopyPackages = DeterministicPackages
+
+// TraceCopy flags zero-argument .Points() calls in the hot-path packages.
+// The check is syntactic (no type information): any receiver counts, but
+// spotmarket.Trace is the only Points() provider in the tree, and a
+// legitimate cold-path copy carries a //lint:ignore tracecopy
+// justification.
+var TraceCopy = &Analyzer{
+	Name: "tracecopy",
+	Doc:  "Trace.Points() copies the whole trace; hot paths must use PointAt/Len or a Cursor",
+	Run:  runTraceCopy,
+}
+
+func runTraceCopy(pass *Pass) {
+	if !TraceCopyPackages[pass.File.Pkg.Rel] {
+		return
+	}
+	ast.Inspect(pass.File.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Points" {
+			return true
+		}
+		pass.Reportf(call, "Points() copies the whole trace in a hot-path package; use PointAt/Len or a Cursor")
+		return true
+	})
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceCopy(t *testing.T) {
+	tests := []struct {
+		name string
+		rel  string
+		src  string
+		want []string
+	}{
+		{
+			name: "hot-path Points call flagged",
+			rel:  "internal/experiments",
+			src: `package experiments
+func f(tr trace) int { return len(tr.Points()) }
+type trace interface{ Points() []int }
+`,
+			want: []string{"copies the whole trace"},
+		},
+		{
+			name: "range over Points flagged",
+			rel:  "internal/spotmarket",
+			src: `package spotmarket
+func f(tr trace) (n int) {
+	for range tr.Points() {
+		n++
+	}
+	return n
+}
+type trace interface{ Points() []int }
+`,
+			want: []string{"copies the whole trace"},
+		},
+		{
+			name: "suppressed with reason",
+			rel:  "internal/spotmarket",
+			src: `package spotmarket
+func f(tr trace) []int {
+	//lint:ignore tracecopy caller takes ownership of the copy
+	return tr.Points()
+}
+type trace interface{ Points() []int }
+`,
+		},
+		{
+			name: "cold package allowed",
+			rel:  "internal/analysis",
+			src: `package analysis
+func f(tr trace) int { return len(tr.Points()) }
+type trace interface{ Points() []int }
+`,
+		},
+		{
+			name: "points with arguments is a different method",
+			rel:  "internal/core",
+			src: `package core
+func f(tr trace) int { return len(tr.Points(3)) }
+type trace interface{ Points(n int) []int }
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RunSource(TraceCopy, tt.rel, tt.rel+"/x.go", tt.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d findings, want %d:\n%v", len(got), len(tt.want), got)
+			}
+			for i, w := range tt.want {
+				if !strings.Contains(got[i].Message, w) {
+					t.Errorf("finding %d = %q, want substring %q", i, got[i].Message, w)
+				}
+			}
+		})
+	}
+}

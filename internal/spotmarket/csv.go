@@ -4,7 +4,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 
 	"repro/internal/cloud"
@@ -28,7 +27,8 @@ func WriteCSV(w io.Writer, set Set) error {
 	}
 	for _, k := range set.Keys() {
 		tr := set[k]
-		for _, p := range tr.Points() {
+		for i := 0; i < tr.Len(); i++ {
+			p := tr.PointAt(i)
 			rec := []string{k.Type, string(k.Zone),
 				strconv.FormatFloat(p.T.Seconds(), 'f', 3, 64),
 				strconv.FormatFloat(float64(p.Price), 'f', 6, 64)}
@@ -95,12 +95,7 @@ func ReadCSV(r io.Reader) (Set, error) {
 		a.points = append(a.points, Point{T: simkit.Seconds(secs), Price: cloud.USD(price)})
 	}
 	out := Set{}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Type != order[j].Type {
-			return order[i].Type < order[j].Type
-		}
-		return order[i].Zone < order[j].Zone
-	})
+	SortMarketKeys(order)
 	for _, k := range order {
 		a := markets[k]
 		if !a.ended {
@@ -110,7 +105,7 @@ func ReadCSV(r io.Reader) (Set, error) {
 			// No sentinel: extend one hour past the last change.
 			a.end = a.points[len(a.points)-1].T + simkit.Hour
 		}
-		tr, err := NewTrace(a.points, a.end)
+		tr, err := newTraceOwned(a.points, a.end)
 		if err != nil {
 			return nil, fmt.Errorf("spotmarket: market %v: %w", k, err)
 		}

@@ -62,12 +62,12 @@ func FitConfig(tr *Trace, onDemand cloud.USD) (GenConfig, error) {
 	}
 
 	// Step spacing between changes in the normal regime.
-	pts := tr.Points()
 	var stepSum float64
 	var steps int
-	for i := 1; i < len(pts); i++ {
-		if float64(pts[i].Price) < od/2 && float64(pts[i-1].Price) < od/2 {
-			stepSum += pts[i].T.Sub(pts[i-1].T).Hours()
+	for i := 1; i < tr.Len(); i++ {
+		p, prev := tr.PointAt(i), tr.PointAt(i-1)
+		if float64(p.Price) < od/2 && float64(prev.Price) < od/2 {
+			stepSum += p.T.Sub(prev.T).Hours()
 			steps++
 		}
 	}

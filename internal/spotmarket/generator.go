@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/simkit"
@@ -28,13 +30,20 @@ func (s Set) Keys() []MarketKey {
 	for k := range s {
 		keys = append(keys, k)
 	}
+	SortMarketKeys(keys)
+	return keys
+}
+
+// SortMarketKeys sorts keys into the canonical (Type, Zone) order every
+// deterministic iteration in the tree uses — Set.Keys, GenerateSet's
+// per-market RNG fan-out, CSV decoding.
+func SortMarketKeys(keys []MarketKey) {
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Type != keys[j].Type {
 			return keys[i].Type < keys[j].Type
 		}
 		return keys[i].Zone < keys[j].Zone
 	})
-	return keys
 }
 
 // GenConfig parameterises the synthetic price process for one market.
@@ -161,7 +170,45 @@ func (v Volatility) String() string {
 	}
 }
 
+// episode is one pre-drawn overlay interval [start, end) at a fixed price.
+type episode struct {
+	start, end simkit.Time
+	price      float64
+}
+
+// drawEpisodes pre-draws one overlay list (spikes or surges) as
+// time-ordered, non-overlapping [start, end, price) intervals. The capacity
+// is sized from the expected episode count (horizon over mean cycle length)
+// so a six-month draw settles in one allocation.
+func drawEpisodes(horizon, meanIvl, meanDur simkit.Time, r *rand.Rand, price func() float64) []episode {
+	expect := int(float64(horizon)/float64(meanIvl+meanDur)) + 4
+	eps := make([]episode, 0, expect+expect/2)
+	t := simkit.Time(float64(meanIvl) * r.ExpFloat64())
+	for t < horizon {
+		dur := simkit.Time(float64(meanDur) * r.ExpFloat64())
+		if dur < simkit.Minute {
+			dur = simkit.Minute
+		}
+		end := t + dur
+		if end > horizon {
+			end = horizon
+		}
+		eps = append(eps, episode{start: t, end: end, price: price()})
+		t = end + simkit.Time(float64(meanIvl)*r.ExpFloat64())
+	}
+	return eps
+}
+
 // Generate produces a synthetic trace over [0, horizon).
+//
+// The walk time is strictly increasing and drawEpisodes emits episodes in
+// time order, so the overlay lookup keeps one cursor per list (the same
+// monotone-access idea as Cursor) instead of re-scanning every episode per
+// emitted point: each cursor only ever advances, making the whole sweep
+// linear in points + episodes. The RNG draw sequence is untouched —
+// episode draws happen up front and walk draws happen at exactly the same
+// loop positions as the pre-cursor implementation — so seeded traces are
+// bit-identical to it.
 func Generate(cfg GenConfig, horizon simkit.Time, r *rand.Rand) (*Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -173,67 +220,19 @@ func Generate(cfg GenConfig, horizon simkit.Time, r *rand.Rand) (*Trace, error) 
 	base := od * cfg.BaseRatio
 	floor := od * cfg.FloorRatio
 
-	// Pre-draw spike and surge episodes as [start, end, price) intervals,
-	// then overlay them on the jittered base walk. Spikes win over surges.
-	type episode struct {
-		start, end simkit.Time
-		price      float64
-	}
-	drawEpisodes := func(meanIvl, meanDur simkit.Time, price func() float64) []episode {
-		var eps []episode
-		t := simkit.Time(float64(meanIvl) * r.ExpFloat64())
-		for t < horizon {
-			dur := simkit.Time(float64(meanDur) * r.ExpFloat64())
-			if dur < simkit.Minute {
-				dur = simkit.Minute
-			}
-			end := t + dur
-			if end > horizon {
-				end = horizon
-			}
-			eps = append(eps, episode{start: t, end: end, price: price()})
-			t = end + simkit.Time(float64(meanIvl)*r.ExpFloat64())
-		}
-		return eps
-	}
-	surges := drawEpisodes(cfg.SurgeMeanInterval, cfg.SurgeDuration, func() float64 {
+	// Pre-draw spike and surge episodes, then overlay them on the jittered
+	// base walk. Spikes win over surges.
+	surges := drawEpisodes(horizon, cfg.SurgeMeanInterval, cfg.SurgeDuration, r, func() float64 {
 		return od * cfg.SurgeRatio.Sample(r)
 	})
-	spikes := drawEpisodes(cfg.SpikeMeanInterval, cfg.SpikeDuration, func() float64 {
+	spikes := drawEpisodes(horizon, cfg.SpikeMeanInterval, cfg.SpikeDuration, r, func() float64 {
 		return od * cfg.SpikeHeight.Sample(r)
 	})
 
-	override := func(t simkit.Time) (float64, simkit.Time, bool) {
-		// Returns the overlay price and the overlay's end, if t is inside
-		// a spike or surge. Spikes take precedence.
-		for _, e := range spikes {
-			if t >= e.start && t < e.end {
-				return e.price, e.end, true
-			}
-		}
-		for _, e := range surges {
-			if t >= e.start && t < e.end {
-				return e.price, e.end, true
-			}
-		}
-		return 0, 0, false
-	}
-	nextEpisodeStart := func(t simkit.Time) simkit.Time {
-		next := horizon
-		for _, e := range spikes {
-			if e.start > t && e.start < next {
-				next = e.start
-			}
-		}
-		for _, e := range surges {
-			if e.start > t && e.start < next {
-				next = e.start
-			}
-		}
-		return next
-	}
-
-	var pts []Point
+	// One point per normal-regime step plus up to two edges per episode;
+	// no-op elision only shrinks it.
+	expect := int(float64(horizon)/float64(cfg.StepMean)) + 2*(len(spikes)+len(surges)) + 8
+	pts := make([]Point, 0, expect)
 	level := base
 	clampPt := func(t simkit.Time, p float64) {
 		if p < floor {
@@ -250,10 +249,22 @@ func Generate(cfg GenConfig, horizon simkit.Time, r *rand.Rand) (*Trace, error) 
 	}
 
 	t := simkit.Time(0)
+	si, gi := 0, 0 // cursors: first spike/surge whose end is still ahead of t
 	for t < horizon {
-		if p, end, in := override(t); in {
-			clampPt(t, p)
-			t = end
+		for si < len(spikes) && spikes[si].end <= t {
+			si++
+		}
+		for gi < len(surges) && surges[gi].end <= t {
+			gi++
+		}
+		if si < len(spikes) && spikes[si].start <= t {
+			clampPt(t, spikes[si].price)
+			t = spikes[si].end
+			continue
+		}
+		if gi < len(surges) && surges[gi].start <= t {
+			clampPt(t, surges[gi].price)
+			t = surges[gi].end
 			continue
 		}
 		// Normal regime: mean-reverting jitter around base.
@@ -264,41 +275,103 @@ func Generate(cfg GenConfig, horizon simkit.Time, r *rand.Rand) (*Trace, error) 
 			step = simkit.Minute
 		}
 		next := t + step
-		if ep := nextEpisodeStart(t); ep < next {
-			next = ep
+		// Stop the step at the next episode start. Neither cursor episode
+		// contains t (checked above), so both starts are strictly ahead.
+		if si < len(spikes) && spikes[si].start < next {
+			next = spikes[si].start
+		}
+		if gi < len(surges) && surges[gi].start < next {
+			next = surges[gi].start
 		}
 		t = next
 	}
 	if len(pts) == 0 || pts[0].T != 0 {
 		pts = append([]Point{{T: 0, Price: cloud.USD(base)}}, pts...)
 	}
-	return NewTrace(pts, horizon)
+	return newTraceOwned(pts, horizon)
 }
 
 // GenerateSet generates independent traces for every market. Each market
-// derives its own RNG stream from seed and its key, so adding or reordering
-// markets does not perturb the others.
-func GenerateSet(configs map[MarketKey]GenConfig, horizon simkit.Time, seed int64) (Set, error) {
-	out := make(Set, len(configs))
+// derives its own RNG stream from seed ^ hashKey(k), so adding or
+// reordering markets does not perturb the others — and markets can generate
+// concurrently without any byte of output depending on scheduling. The
+// optional trailing argument bounds the worker pool, mirroring the sweep
+// engine's entry points: absent or <= 0 means runtime.GOMAXPROCS(0), and a
+// resolved count of 1 runs sequentially in the caller's goroutine. Results
+// and errors are identical at every worker count.
+func GenerateSet(configs map[MarketKey]GenConfig, horizon simkit.Time, seed int64, workers ...int) (Set, error) {
 	keys := make([]MarketKey, 0, len(configs))
 	for k := range configs {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Type != keys[j].Type {
-			return keys[i].Type < keys[j].Type
-		}
-		return keys[i].Zone < keys[j].Zone
-	})
-	for _, k := range keys {
+	SortMarketKeys(keys)
+
+	gen := func(k MarketKey) (*Trace, error) {
 		r := rand.New(rand.NewSource(seed ^ int64(hashKey(k))))
 		tr, err := Generate(configs[k], horizon, r)
 		if err != nil {
 			return nil, fmt.Errorf("market %v: %w", k, err)
 		}
+		return tr, nil
+	}
+
+	out := make(Set, len(keys))
+	if w := genWorkers(workers, len(keys)); w > 1 {
+		traces := make([]*Trace, len(keys))
+		errs := make([]error, len(keys))
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					traces[i], errs[i] = gen(keys[i])
+				}
+			}()
+		}
+		for i := range keys {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		// Report the first failure in key order — the same error the
+		// sequential path would have stopped on.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, k := range keys {
+			out[k] = traces[i]
+		}
+		return out, nil
+	}
+	for _, k := range keys {
+		tr, err := gen(k)
+		if err != nil {
+			return nil, err
+		}
 		out[k] = tr
 	}
 	return out, nil
+}
+
+// genWorkers resolves GenerateSet's optional trailing worker count against
+// the market count: absent or <= 0 means GOMAXPROCS, and the pool never
+// exceeds one worker per market.
+func genWorkers(workers []int, n int) int {
+	w := 0
+	if len(workers) > 0 {
+		w = workers[0]
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // hashKey derives a stable per-market stream offset (FNV-1a).

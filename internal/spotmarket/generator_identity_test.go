@@ -1,0 +1,250 @@
+package spotmarket
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+// referenceGenerate is the pre-cursor Generate implementation, kept
+// verbatim (quadratic override/nextEpisodeStart scans included) as the
+// oracle for the linear rewrite: both must consume the identical RNG draw
+// sequence and emit the identical points.
+func referenceGenerate(cfg GenConfig, horizon simkit.Time, r *rand.Rand) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("spotmarket: horizon must be positive, got %v", horizon)
+	}
+	od := float64(cfg.OnDemand)
+	base := od * cfg.BaseRatio
+	floor := od * cfg.FloorRatio
+
+	type episode struct {
+		start, end simkit.Time
+		price      float64
+	}
+	drawEpisodes := func(meanIvl, meanDur simkit.Time, price func() float64) []episode {
+		var eps []episode
+		t := simkit.Time(float64(meanIvl) * r.ExpFloat64())
+		for t < horizon {
+			dur := simkit.Time(float64(meanDur) * r.ExpFloat64())
+			if dur < simkit.Minute {
+				dur = simkit.Minute
+			}
+			end := t + dur
+			if end > horizon {
+				end = horizon
+			}
+			eps = append(eps, episode{start: t, end: end, price: price()})
+			t = end + simkit.Time(float64(meanIvl)*r.ExpFloat64())
+		}
+		return eps
+	}
+	surges := drawEpisodes(cfg.SurgeMeanInterval, cfg.SurgeDuration, func() float64 {
+		return od * cfg.SurgeRatio.Sample(r)
+	})
+	spikes := drawEpisodes(cfg.SpikeMeanInterval, cfg.SpikeDuration, func() float64 {
+		return od * cfg.SpikeHeight.Sample(r)
+	})
+
+	override := func(t simkit.Time) (float64, simkit.Time, bool) {
+		for _, e := range spikes {
+			if t >= e.start && t < e.end {
+				return e.price, e.end, true
+			}
+		}
+		for _, e := range surges {
+			if t >= e.start && t < e.end {
+				return e.price, e.end, true
+			}
+		}
+		return 0, 0, false
+	}
+	nextEpisodeStart := func(t simkit.Time) simkit.Time {
+		next := horizon
+		for _, e := range spikes {
+			if e.start > t && e.start < next {
+				next = e.start
+			}
+		}
+		for _, e := range surges {
+			if e.start > t && e.start < next {
+				next = e.start
+			}
+		}
+		return next
+	}
+
+	var pts []Point
+	level := base
+	clampPt := func(t simkit.Time, p float64) {
+		if p < floor {
+			p = floor
+		}
+		if p <= 0 {
+			p = 0.0001
+		}
+		if len(pts) > 0 && pts[len(pts)-1].Price == cloud.USD(p) {
+			return
+		}
+		pts = append(pts, Point{T: t, Price: cloud.USD(p)})
+	}
+
+	t := simkit.Time(0)
+	for t < horizon {
+		if p, end, in := override(t); in {
+			clampPt(t, p)
+			t = end
+			continue
+		}
+		level = base * math.Exp(r.NormFloat64()*cfg.Jitter)
+		clampPt(t, level)
+		step := simkit.Time(float64(cfg.StepMean) * r.ExpFloat64())
+		if step < simkit.Minute {
+			step = simkit.Minute
+		}
+		next := t + step
+		if ep := nextEpisodeStart(t); ep < next {
+			next = ep
+		}
+		t = next
+	}
+	if len(pts) == 0 || pts[0].T != 0 {
+		pts = append([]Point{{T: 0, Price: cloud.USD(base)}}, pts...)
+	}
+	return NewTrace(pts, horizon)
+}
+
+// sameTrace reports byte-equality of two traces (every point and the end).
+func sameTrace(a, b *Trace) bool {
+	if a.Len() != b.Len() || a.End() != b.End() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.PointAt(i) != b.PointAt(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenerateMatchesReference pins the cursor-based sweep to the
+// pre-rewrite implementation: same seed, same config, bit-identical trace —
+// across every volatility tier, several seeds, and horizons short enough to
+// hit the zero-episode and episode-at-horizon edges.
+func TestGenerateMatchesReference(t *testing.T) {
+	horizons := []simkit.Time{6 * simkit.Hour, 3 * simkit.Day, 40 * simkit.Day, sixMonths}
+	for _, vol := range []Volatility{VolatilityLow, VolatilityMedium, VolatilityHigh, VolatilityExtreme} {
+		for seed := int64(0); seed < 8; seed++ {
+			for _, horizon := range horizons {
+				cfg := DefaultConfig(0.07, vol)
+				want, err := referenceGenerate(cfg, horizon, newRand(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Generate(cfg, horizon, newRand(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameTrace(got, want) {
+					t.Fatalf("vol=%v seed=%d horizon=%v: cursor-based Generate diverged from reference (%d vs %d points)",
+						vol, seed, horizon, got.Len(), want.Len())
+				}
+			}
+		}
+	}
+}
+
+// identitySetConfigs is the Figure 6c shape: 18 same-type markets across
+// synthetic zones.
+func identitySetConfigs() map[MarketKey]GenConfig {
+	configs := make(map[MarketKey]GenConfig, 18)
+	for i := 1; i <= 18; i++ {
+		k := MarketKey{Type: cloud.M3Medium, Zone: cloud.Zone(fmt.Sprintf("zone-%02d", i))}
+		configs[k] = DefaultConfig(0.07, VolatilityMedium)
+	}
+	return configs
+}
+
+// TestGenerateSetWorkerIdentity pins the parallel path's contract: every
+// worker count — sequential, 2, GOMAXPROCS — and a repeated run all produce
+// byte-identical sets, because each market's RNG stream depends only on
+// (seed, key), never on scheduling.
+func TestGenerateSetWorkerIdentity(t *testing.T) {
+	configs := identitySetConfigs()
+	const horizon = 20 * simkit.Day
+	base, err := GenerateSet(configs, horizon, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(configs) {
+		t.Fatalf("got %d markets, want %d", len(base), len(configs))
+	}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		set, err := GenerateSet(configs, horizon, 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range base.Keys() {
+			if !sameTrace(set[k], base[k]) {
+				t.Fatalf("workers=%d: market %v differs from sequential run", workers, k)
+			}
+		}
+	}
+	// Run-to-run: the default worker count must also reproduce itself.
+	again, err := GenerateSet(configs, horizon, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range base.Keys() {
+		if !sameTrace(again[k], base[k]) {
+			t.Fatalf("repeat run: market %v differs", k)
+		}
+	}
+}
+
+// TestGenerateSetParallelRace drives an 18-market generation through more
+// workers than this machine has CPUs; under -race (the CI smoke) it proves
+// the workers share nothing but the read-only inputs.
+func TestGenerateSetParallelRace(t *testing.T) {
+	set, err := GenerateSet(identitySetConfigs(), 10*simkit.Day, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 18 {
+		t.Fatalf("got %d markets, want 18", len(set))
+	}
+}
+
+// TestGenerateSetParallelError pins error identity: an invalid market must
+// surface the same first-key-order error at every worker count, even when
+// other markets fail too.
+func TestGenerateSetParallelError(t *testing.T) {
+	configs := identitySetConfigs()
+	for _, typ := range []string{"aa-bad", "zz-bad"} {
+		bad := DefaultConfig(0.07, VolatilityLow)
+		bad.OnDemand = -1
+		configs[MarketKey{Type: typ, Zone: "zone-x"}] = bad
+	}
+	var want error
+	for i, workers := range []int{1, 2, 4, 8} {
+		_, err := GenerateSet(configs, simkit.Day, 1, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid config accepted", workers)
+		}
+		if i == 0 {
+			want = err
+			continue
+		}
+		if err.Error() != want.Error() {
+			t.Fatalf("workers=%d: error %q, want %q", workers, err, want)
+		}
+	}
+}

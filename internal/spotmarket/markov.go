@@ -123,5 +123,5 @@ func GenerateMarkov(cfg MarkovConfig, horizon simkit.Time, r *rand.Rand) (*Trace
 	if len(pts) == 0 || pts[0].T != 0 {
 		pts = append([]Point{{T: 0, Price: cloud.USD(base)}}, pts...)
 	}
-	return NewTrace(pts, horizon)
+	return newTraceOwned(pts, horizon)
 }

@@ -30,27 +30,47 @@ type Trace struct {
 }
 
 // NewTrace builds a trace from points. Points must be strictly increasing
-// in time, start at T=0, carry positive prices, and end before end.
+// in time, start at T=0, carry positive prices, and end before end. The
+// slice is copied so callers stay free to reuse it.
 func NewTrace(points []Point, end simkit.Time) (*Trace, error) {
-	if len(points) == 0 {
-		return nil, fmt.Errorf("spotmarket: trace needs at least one point")
-	}
-	if points[0].T != 0 {
-		return nil, fmt.Errorf("spotmarket: trace must start at t=0, got %v", points[0].T)
-	}
-	for i, p := range points {
-		if p.Price <= 0 {
-			return nil, fmt.Errorf("spotmarket: non-positive price %v at point %d", p.Price, i)
-		}
-		if i > 0 && p.T <= points[i-1].T {
-			return nil, fmt.Errorf("spotmarket: points not strictly increasing at %d (%v after %v)", i, p.T, points[i-1].T)
-		}
-	}
-	if last := points[len(points)-1].T; last >= end {
-		return nil, fmt.Errorf("spotmarket: last point %v not before end %v", last, end)
+	if err := validatePoints(points, end); err != nil {
+		return nil, err
 	}
 	cp := append([]Point(nil), points...)
 	return &Trace{points: cp, end: end}, nil
+}
+
+// newTraceOwned builds a trace taking ownership of points: same validation
+// as NewTrace, no defensive copy. Only for construction sites (the
+// generators, CSV decoding, Slice) whose slice provably has no other
+// holder — a six-month trace is thousands of points, and the copy was the
+// generator's single largest allocation.
+func newTraceOwned(points []Point, end simkit.Time) (*Trace, error) {
+	if err := validatePoints(points, end); err != nil {
+		return nil, err
+	}
+	return &Trace{points: points, end: end}, nil
+}
+
+func validatePoints(points []Point, end simkit.Time) error {
+	if len(points) == 0 {
+		return fmt.Errorf("spotmarket: trace needs at least one point")
+	}
+	if points[0].T != 0 {
+		return fmt.Errorf("spotmarket: trace must start at t=0, got %v", points[0].T)
+	}
+	for i, p := range points {
+		if p.Price <= 0 {
+			return fmt.Errorf("spotmarket: non-positive price %v at point %d", p.Price, i)
+		}
+		if i > 0 && p.T <= points[i-1].T {
+			return fmt.Errorf("spotmarket: points not strictly increasing at %d (%v after %v)", i, p.T, points[i-1].T)
+		}
+	}
+	if last := points[len(points)-1].T; last >= end {
+		return fmt.Errorf("spotmarket: last point %v not before end %v", last, end)
+	}
+	return nil
 }
 
 // End reports the trace horizon; prices are undefined at or after End and
@@ -204,7 +224,7 @@ func (tr *Trace) Slice(a, b simkit.Time) (*Trace, error) {
 			pts = append(pts, Point{T: p.T - a, Price: p.Price})
 		}
 	}
-	return NewTrace(pts, b-a)
+	return newTraceOwned(pts, b-a)
 }
 
 // SampleGrid returns the price sampled every interval over [0, End), used
