@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/migration"
@@ -262,6 +263,31 @@ func BenchmarkHeadline(b *testing.B) {
 	}
 	b.ReportMetric(h.Savings, "savings-x")
 	b.ReportMetric(100*h.Availability, "availability-%")
+}
+
+// --- Fleet-scale capacity bench (docs/SCALING.md) ---
+
+// BenchmarkScaleFleet1k runs the scale experiment's measured rung at bench
+// scale — a 1k-VM synthetic fleet in fleet mode — and reports the two
+// capacity metrics benchbase gates: ns per simulated VM-hour and live
+// bytes per VM. The full 1k/10k/100k ladder over six months runs via
+// `spotsim -exp scale`.
+func BenchmarkScaleFleet1k(b *testing.B) {
+	var res experiments.ScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunScale(experiments.ScaleConfig{
+			VMs:     1000,
+			Horizon: benchHorizon,
+			Seed:    benchSeed,
+			Clock:   func() int64 { return time.Now().UnixNano() },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.NsPerVMHour, "ns/vm-hour")
+	b.ReportMetric(res.BytesPerVM, "bytes/vm")
 }
 
 // --- Ablation benches (DESIGN.md §5) ---

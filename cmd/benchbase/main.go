@@ -201,6 +201,35 @@ func compare(base, current []benchResult, nsTol, allocTol float64) (regs []regre
 		if c.AllocsPerOp > b.AllocsPerOp*(1+allocTol)+1 {
 			regs = append(regs, regression{full, "allocs/op", b.AllocsPerOp, c.AllocsPerOp})
 		}
+		// Custom metrics are informational except the lower-is-better
+		// capacity units: ns/... is wall-clock-like and gated at the ns
+		// tolerance; bytes/... is a footprint and gated at the (tighter)
+		// alloc tolerance. Everything else (availability-%, savings-x)
+		// has no better/worse direction benchbase can assume.
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			bv := b.Metrics[u]
+			cv, ok := c.Metrics[u]
+			if !ok || bv <= 0 {
+				continue
+			}
+			var tol float64
+			switch {
+			case strings.HasPrefix(u, "ns/"):
+				tol = nsTol
+			case strings.HasPrefix(u, "bytes/"):
+				tol = allocTol
+			default:
+				continue
+			}
+			if cv > bv*(1+tol) {
+				regs = append(regs, regression{full, u, bv, cv})
+			}
+		}
 	}
 	return regs, missing
 }

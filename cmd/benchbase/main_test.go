@@ -88,6 +88,46 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareCapacityMetrics covers the custom-metric gates: ns/... units
+// use the ns tolerance, bytes/... the alloc tolerance, and direction-free
+// metrics (availability-%) stay informational no matter how they move.
+func TestCompareCapacityMetrics(t *testing.T) {
+	base := []benchResult{{
+		Name: "BenchmarkScaleFleet1k", Pkg: "repro", NsPerOp: 100,
+		Metrics: map[string]float64{
+			"ns/vm-hour":     1000,
+			"bytes/vm":       2000,
+			"availability-%": 99.99,
+		},
+	}}
+	within := []benchResult{{
+		Name: "BenchmarkScaleFleet1k", Pkg: "repro", NsPerOp: 100,
+		Metrics: map[string]float64{
+			"ns/vm-hour":     1400, // +40% < 50% ns tolerance
+			"bytes/vm":       2400, // +20% < 25% alloc tolerance
+			"availability-%": 12,   // collapsed, but not a gated unit
+		},
+	}}
+	if regs, _ := compare(base, within, 0.5, 0.25); len(regs) != 0 {
+		t.Errorf("within-tolerance capacity metrics tripped the gate: %v", regs)
+	}
+	blown := []benchResult{{
+		Name: "BenchmarkScaleFleet1k", Pkg: "repro", NsPerOp: 100,
+		Metrics: map[string]float64{
+			"ns/vm-hour": 1600, // +60% > 50%
+			"bytes/vm":   2600, // +30% > 25%
+		},
+	}}
+	regs, _ := compare(base, blown, 0.5, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want bytes/vm and ns/vm-hour", regs)
+	}
+	// Sorted unit order within the benchmark: bytes/vm before ns/vm-hour.
+	if regs[0].metric != "bytes/vm" || regs[1].metric != "ns/vm-hour" {
+		t.Errorf("gated metrics = %q, %q", regs[0].metric, regs[1].metric)
+	}
+}
+
 func TestRunUsageSmoke(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run(&out, &errb, []string{"-h"}, fakeBench("", nil)); code != 0 {

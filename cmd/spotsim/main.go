@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N]
+//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations|scale] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N] [-fleet N]
 //
 // The simulations in a batch are fully independent, so spotsim fans them
 // out across the experiments sweep engine; -parallel bounds the worker
 // count (0, the default, means GOMAXPROCS; 1 forces sequential execution).
 // The output is identical for a fixed seed regardless of the worker count.
+//
+// The scale experiment (docs/SCALING.md) is the one member excluded from
+// -exp all: it climbs synthetic fleets of 1k/10k/100k nested VMs over the
+// full horizon and reports ns per simulated VM-hour and bytes per VM.
+// -fleet N replaces the ladder with a single rung of N VMs.
 //
 // The -metrics flag additionally prints the headline simulation's
 // end-of-run observability snapshot (every spotcheck_* and spotcheck_cloudsim_*
@@ -22,21 +27,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/simkit"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations")
+	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations, scale")
 	metrics := flag.Bool("metrics", false, "print the headline run's metrics snapshot")
 	vms := flag.Int("vms", 40, "nested VM fleet size")
 	months := flag.Float64("months", 6, "simulation horizon in months")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	fleet := flag.Int("fleet", 0, "scale experiment fleet size (0 = the 1k/10k/100k ladder)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *vms, *months, *seed, *metrics, *parallel); err != nil {
+	if err := run(os.Stdout, *exp, *vms, *months, *seed, *metrics, *parallel, *fleet); err != nil {
 		fmt.Fprintln(os.Stderr, "spotsim:", err)
 		os.Exit(1)
 	}
@@ -51,16 +58,19 @@ var knownExperiments = map[string]bool{
 	"table3":    true,
 	"headline":  true,
 	"ablations": true,
+	"scale":     true,
 }
 
-func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics bool, parallel int) error {
+func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics bool, parallel, fleet int) error {
 	// Validate up front: an unknown -exp must error even when -metrics (or
 	// any other output) would otherwise produce something.
 	if !knownExperiments[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	horizon := simkit.Time(float64(30*simkit.Day) * months)
-	want := func(f string) bool { return exp == "all" || exp == f }
+	// The scale ladder tops out at 100k VMs, so it never rides along with
+	// "all"; it runs only when asked for by name.
+	want := func(f string) bool { return exp == f || (exp == "all" && f != "scale") }
 
 	needMatrix := want("fig10") || want("fig11") || want("fig12")
 	if needMatrix {
@@ -118,6 +128,20 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics b
 			return err
 		}
 		fmt.Fprint(w, out)
+	}
+	if want("scale") {
+		sizes := experiments.DefaultScaleLadder()
+		if fleet > 0 {
+			sizes = []int{fleet}
+		}
+		fmt.Fprintf(os.Stderr, "spotsim: running scale ladder %v (%.1f months)...\n", sizes, months)
+		rows, err := experiments.ScaleLadder(sizes, horizon, seed,
+			func() int64 { return time.Now().UnixNano() }, parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.ScaleTable(rows).String())
+		fmt.Fprintln(w)
 	}
 	return nil
 }

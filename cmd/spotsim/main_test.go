@@ -7,14 +7,14 @@ import (
 
 func TestRunHeadlineAndTable3(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "headline", 8, 0.5, 42, false, 1); err != nil {
+	if err := run(&b, "headline", 8, 0.5, 42, false, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "savings:") {
 		t.Error("headline output missing")
 	}
 	b.Reset()
-	if err := run(&b, "table3", 8, 0.5, 42, false, 1); err != nil {
+	if err := run(&b, "table3", 8, 0.5, 42, false, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Table 3") {
@@ -24,7 +24,7 @@ func TestRunHeadlineAndTable3(t *testing.T) {
 
 func TestRunFigures(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig11", 6, 0.5, 42, false, 1); err != nil {
+	if err := run(&b, "fig11", 6, 0.5, 42, false, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -40,7 +40,7 @@ func TestRunFigures(t *testing.T) {
 // headline run's registry with live migration, revocation and flush series.
 func TestRunMetrics(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "headline", 8, 0.5, 42, true, 1); err != nil {
+	if err := run(&b, "headline", 8, 0.5, 42, true, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -62,7 +62,7 @@ func TestRunMetrics(t *testing.T) {
 // TestRunMetricsOnly verifies -metrics works without a named experiment.
 func TestRunMetricsOnly(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig11", 6, 0.5, 42, true, 1); err != nil {
+	if err := run(&b, "fig11", 6, 0.5, 42, true, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Metrics snapshot") {
@@ -70,9 +70,32 @@ func TestRunMetricsOnly(t *testing.T) {
 	}
 }
 
+// TestRunScale exercises `-exp scale -fleet N`: a single-rung ladder must
+// render the capacity table, and scale must stay out of -exp all.
+func TestRunScale(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "scale", 40, 0.1, 42, false, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fleet capacity") || !strings.Contains(out, "ns/vm-hour") {
+		t.Errorf("capacity table missing from scale output:\n%s", out)
+	}
+	if !strings.Contains(out, "60") {
+		t.Errorf("-fleet 60 rung missing from output:\n%s", out)
+	}
+	b.Reset()
+	if err := run(&b, "fig11", 6, 0.5, 42, false, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Fleet capacity") {
+		t.Error("scale ran without being requested")
+	}
+}
+
 func TestRunUnknown(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "nope", 8, 0.5, 42, false, 1); err == nil {
+	if err := run(&b, "nope", 8, 0.5, 42, false, 1, 0); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -82,7 +105,7 @@ func TestRunUnknown(t *testing.T) {
 // headline simulation instead of erroring on the typo.
 func TestRunUnknownWithMetrics(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "fig13", 8, 0.5, 42, true, 1)
+	err := run(&b, "fig13", 8, 0.5, 42, true, 1, 0)
 	if err == nil {
 		t.Fatal("unknown experiment accepted when -metrics is set")
 	}
@@ -98,10 +121,10 @@ func TestRunUnknownWithMetrics(t *testing.T) {
 // for a fixed seed regardless of the sweep worker count.
 func TestRunParallelMatchesSequential(t *testing.T) {
 	var seq, par strings.Builder
-	if err := run(&seq, "fig10", 6, 0.5, 42, false, 1); err != nil {
+	if err := run(&seq, "fig10", 6, 0.5, 42, false, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&par, "fig10", 6, 0.5, 42, false, 4); err != nil {
+	if err := run(&par, "fig10", 6, 0.5, 42, false, 4, 0); err != nil {
 		t.Fatal(err)
 	}
 	if seq.String() != par.String() {

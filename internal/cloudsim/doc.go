@@ -1,0 +1,27 @@
+// Package cloudsim implements a discrete-event simulated native IaaS
+// platform (EC2-shaped) behind the cloud.Provider interface: on-demand and
+// spot instances, spot revocation warnings driven by price traces, EBS-like
+// volumes, VPC private addresses, and control-plane latencies calibrated to
+// the paper's Table 1 measurements.
+//
+// # Fleet state layout
+//
+// The instance ledger is an index-addressed slab (internal/slab): instance
+// records live in chunked, address-stable slots, a boundary map translates
+// cloud.InstanceIDs to generation-checked handles, and deferred closures
+// (launch completions, terminations) revalidate their handle — or capture
+// the heap *cloud.Instance, which is never recycled — instead of trusting
+// a pointer across simulated time. Spot instances are additionally indexed
+// per market in bid-sorted lists carrying a cached minimum bid, so a price
+// change walks a market's instances only when the new price can actually
+// underbid someone; assigned VPC addresses are indexed so IP release and
+// duplicate checks never scan the ledger.
+//
+// Defaults retain every instance record for the whole run. Fleet-scale
+// runs opt in via Config: ExpectedInstances pre-sizes the ledger,
+// CompactTerminated recycles a terminated instance's slot (retaining its
+// final bill for AccruedCost), and PrefixBilling answers spot bills from
+// per-market prefix integrals in O(log n) instead of walking every price
+// segment the instance lived through. docs/SCALING.md quantifies the
+// result.
+package cloudsim

@@ -1,18 +1,15 @@
-// Package cloudsim implements a discrete-event simulated native IaaS
-// platform (EC2-shaped) behind the cloud.Provider interface: on-demand and
-// spot instances, spot revocation warnings driven by price traces, EBS-like
-// volumes, VPC private addresses, and control-plane latencies calibrated to
-// the paper's Table 1 measurements.
 package cloudsim
 
 import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sort"
 
 	"repro/internal/cloud"
 	"repro/internal/obs"
 	"repro/internal/simkit"
+	"repro/internal/slab"
 	"repro/internal/spotmarket"
 )
 
@@ -48,6 +45,22 @@ type Config struct {
 	// VPC is the private address block for nested VM IPs.
 	// Defaults to 10.0.0.0/16.
 	VPC netip.Prefix
+
+	// ExpectedInstances pre-sizes the instance ledger and indexes for
+	// fleet-scale runs, avoiding incremental rehash/regrow churn. Zero
+	// keeps the default sizing.
+	ExpectedInstances int
+	// CompactTerminated recycles an instance's ledger slot when it
+	// terminates, retaining only its id and final bill (AccruedCost keeps
+	// answering; Instance does not). Off by default: the default paths
+	// keep every record, and some callers inspect terminated instances.
+	CompactTerminated bool
+	// PrefixBilling answers spot AccruedCost from per-market prefix
+	// integrals (O(log n)) instead of walking every price segment the
+	// instance lived through. The sum re-associates, so bills can differ
+	// from the default segment walk in the last ulps — which is why the
+	// golden-pinned default paths leave it off.
+	PrefixBilling bool
 
 	// Metrics, if non-nil, receives platform instruments (price ticks,
 	// warnings, launches, finalized billing) under the spotcheck_cloudsim_
@@ -93,11 +106,29 @@ type Platform struct {
 
 	nextInstance int
 	nextVolume   int
-	instances    map[cloud.InstanceID]*instanceState
-	volumes      map[cloud.VolumeID]*cloud.Volume
+	// instSlab holds every live instance's state in chunked, index-addressed
+	// storage; instByID maps external ids to generation-checked handles. In
+	// default runs slots are never freed (the ledger is append-only, as it
+	// always was); CompactTerminated recycles them at destroy.
+	instSlab *slab.Slab[instanceState]
+	instByID map[cloud.InstanceID]slab.Handle
+	// finalCost retains compacted instances' whole-life bills so AccruedCost
+	// still answers after the ledger entry is gone (CompactTerminated only).
+	finalCost map[cloud.InstanceID]cloud.USD
+	volumes   map[cloud.VolumeID]*cloud.Volume
 
-	// spot instances grouped by market for revocation sweeps
-	spotByMarket map[spotmarket.MarketKey]map[cloud.InstanceID]*instanceState
+	// spot instances grouped by market for revocation sweeps, id-ordered,
+	// with the market's minimum outstanding bid tracked so a price change
+	// at or below every bid skips the scan entirely.
+	spotByMarket map[spotmarket.MarketKey]*spotList
+
+	// ipAssigned indexes which live instance holds each assigned address,
+	// replacing whole-ledger scans in AssignIP/ReleaseIP.
+	ipAssigned map[cloud.Addr]*cloud.Instance
+
+	// prefix lazily caches per-market cumulative price integrals
+	// (PrefixBilling only).
+	prefix map[spotmarket.MarketKey]*spotmarket.PrefixIntegral
 
 	// priceCursors give SpotPrice amortized-O(1) lookups: the controller's
 	// monitor loop samples every market each tick with sim time moving
@@ -178,6 +209,7 @@ func (m *platMetrics) launched(market cloud.Market) {
 
 type instanceState struct {
 	inst        *cloud.Instance
+	slot        slab.Handle          // this state's own slab handle
 	market      spotmarket.MarketKey // spot only
 	forcedKill  simkit.Event         // pending forced termination, if warned
 	terminating bool
@@ -186,24 +218,90 @@ type instanceState struct {
 	reclaimed bool
 }
 
+// spotList is one market's running spot instances, kept in instance-id
+// order (deterministic warning delivery without a per-sweep copy-and-sort).
+type spotList struct {
+	insts []*instanceState
+	// minBid/minBidCount track the smallest outstanding bid and how many
+	// instances hold it; a price move that stays at or below minBid cannot
+	// underbid anyone, so the revocation sweep skips the whole market.
+	minBid      cloud.USD
+	minBidCount int
+	minBidDirty bool
+}
+
+func (l *spotList) insert(st *instanceState) {
+	i := sort.Search(len(l.insts), func(i int) bool { return l.insts[i].inst.ID >= st.inst.ID })
+	l.insts = append(l.insts, nil)
+	copy(l.insts[i+1:], l.insts[i:])
+	l.insts[i] = st
+	bid := st.inst.Bid
+	switch {
+	case len(l.insts) == 1 || (!l.minBidDirty && bid < l.minBid):
+		l.minBid, l.minBidCount, l.minBidDirty = bid, 1, false
+	case !l.minBidDirty && bid == l.minBid:
+		l.minBidCount++
+	}
+}
+
+func (l *spotList) remove(st *instanceState) {
+	i := sort.Search(len(l.insts), func(i int) bool { return l.insts[i].inst.ID >= st.inst.ID })
+	if i >= len(l.insts) || l.insts[i] != st {
+		return
+	}
+	copy(l.insts[i:], l.insts[i+1:])
+	l.insts[len(l.insts)-1] = nil
+	l.insts = l.insts[:len(l.insts)-1]
+	if !l.minBidDirty && st.inst.Bid == l.minBid {
+		l.minBidCount--
+		if l.minBidCount <= 0 {
+			l.minBidDirty = true
+		}
+	}
+}
+
+// floor returns the market's minimum outstanding bid, recomputing it after
+// the last minimum-bid holder left.
+func (l *spotList) floor() cloud.USD {
+	if l.minBidDirty {
+		l.minBid, l.minBidCount = 0, 0
+		for _, st := range l.insts {
+			switch {
+			case l.minBidCount == 0 || st.inst.Bid < l.minBid:
+				l.minBid, l.minBidCount = st.inst.Bid, 1
+			case st.inst.Bid == l.minBid:
+				l.minBidCount++
+			}
+		}
+		l.minBidDirty = false
+	}
+	return l.minBid
+}
+
 // New builds a platform on the given scheduler.
 func New(sched *simkit.Scheduler, cfg Config) (*Platform, error) {
 	cfg.fillDefaults()
 	if len(cfg.Traces) == 0 {
 		return nil, fmt.Errorf("cloudsim: config needs spot price traces")
 	}
+	exp := cfg.ExpectedInstances
 	p := &Platform{
 		sched:        sched,
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		types:        make(map[string]cloud.InstanceType, len(cfg.Catalog)),
-		instances:    map[cloud.InstanceID]*instanceState{},
-		volumes:      map[cloud.VolumeID]*cloud.Volume{},
-		spotByMarket: map[spotmarket.MarketKey]map[cloud.InstanceID]*instanceState{},
+		instSlab:     slab.New[instanceState](exp),
+		instByID:     make(map[cloud.InstanceID]slab.Handle, exp),
+		volumes:      make(map[cloud.VolumeID]*cloud.Volume, exp),
+		spotByMarket: map[spotmarket.MarketKey]*spotList{},
+		ipAssigned:   make(map[cloud.Addr]*cloud.Instance, exp),
 		priceCursors: make(map[spotmarket.MarketKey]*spotmarket.Cursor, len(cfg.Traces)),
 		ipPool:       newIPPool(cfg.VPC),
 		liveCount:    map[string]int{},
 		met:          newPlatMetrics(cfg.Metrics),
+	}
+	if cfg.CompactTerminated {
+		p.finalCost = make(map[cloud.InstanceID]cloud.USD, exp)
 	}
 	for _, it := range cfg.Catalog {
 		p.types[it.Name] = it
@@ -306,8 +404,16 @@ func (p *Platform) RunOnDemand(typ string, zone cloud.Zone, cb cloud.InstanceCal
 		return
 	}
 	st := p.newInstance(it, zone, cloud.MarketOnDemand, 0)
+	h, id := st.slot, st.inst.ID
 	delay := simkit.SampleSeconds(p.cfg.Latencies.StartOnDemand, p.rng)
-	p.sched.After(delay, "od-launch "+string(st.inst.ID), func() {
+	p.sched.After(delay, "od-launch "+string(id), func() {
+		// The slot may have been terminated-and-compacted mid-launch; the
+		// generation check catches a recycled handle.
+		st := p.instSlab.Get(h)
+		if st == nil {
+			cb(nil, fmt.Errorf("%w: instance %s terminated during launch", cloud.ErrBadState, id))
+			return
+		}
 		p.finishLaunch(st, cb)
 	})
 }
@@ -334,19 +440,25 @@ func (p *Platform) RequestSpot(typ string, zone cloud.Zone, bid cloud.USD, cb cl
 	}
 	st := p.newInstance(it, zone, cloud.MarketSpot, bid)
 	st.market = spotmarket.MarketKey{Type: typ, Zone: zone}
+	h, id := st.slot, st.inst.ID
 	delay := simkit.SampleSeconds(p.cfg.Latencies.StartSpot, p.rng)
-	p.sched.After(delay, "spot-launch "+string(st.inst.ID), func() {
+	p.sched.After(delay, "spot-launch "+string(id), func() {
+		st := p.instSlab.Get(h)
+		if st == nil {
+			cb(nil, fmt.Errorf("%w: instance %s terminated during launch", cloud.ErrBadState, id))
+			return
+		}
 		p.finishLaunch(st, cb)
 		if st.inst.State != cloud.StateRunning {
 			return
 		}
 		p.stats.SpotLaunched++
-		byMkt := p.spotByMarket[st.market]
-		if byMkt == nil {
-			byMkt = map[cloud.InstanceID]*instanceState{}
-			p.spotByMarket[st.market] = byMkt
+		list := p.spotByMarket[st.market]
+		if list == nil {
+			list = &spotList{}
+			p.spotByMarket[st.market] = list
 		}
-		byMkt[st.inst.ID] = st
+		list.insert(st)
 		// The price may have spiked past the bid while the launch was
 		// pending; EC2 would warn immediately.
 		if price := mcur.PriceAt(p.sched.Now()); price > st.inst.Bid {
@@ -367,16 +479,28 @@ func (p *Platform) checkCapacity(typ string) error {
 	return nil
 }
 
+// lookupInst resolves an external instance id to its live ledger entry (nil
+// when unknown or compacted).
+func (p *Platform) lookupInst(id cloud.InstanceID) *instanceState {
+	h, ok := p.instByID[id]
+	if !ok {
+		return nil
+	}
+	return p.instSlab.Get(h)
+}
+
 func (p *Platform) newInstance(it cloud.InstanceType, zone cloud.Zone, market cloud.Market, bid cloud.USD) *instanceState {
 	p.nextInstance++
 	id := cloud.InstanceID(fmt.Sprintf("i-%06d", p.nextInstance))
-	st := &instanceState{
+	st, h := p.instSlab.Alloc()
+	*st = instanceState{
+		slot: h,
 		inst: &cloud.Instance{
 			ID: id, Type: it, Zone: zone, Market: market, Bid: bid,
 			State: cloud.StatePending,
 		},
 	}
-	p.instances[id] = st
+	p.instByID[id] = h
 	p.liveCount[it.Name]++
 	return st
 }
@@ -396,8 +520,8 @@ func (p *Platform) finishLaunch(st *instanceState, cb cloud.InstanceCallback) {
 
 // Terminate implements cloud.Provider.
 func (p *Platform) Terminate(id cloud.InstanceID, cb cloud.Callback) error {
-	st, ok := p.instances[id]
-	if !ok {
+	st := p.lookupInst(id)
+	if st == nil {
 		return fmt.Errorf("%w: instance %s", cloud.ErrNotFound, id)
 	}
 	if st.inst.State == cloud.StateTerminated || st.terminating {
@@ -405,9 +529,14 @@ func (p *Platform) Terminate(id cloud.InstanceID, cb cloud.Callback) error {
 	}
 	st.terminating = true
 	p.stats.VoluntaryTerminations++
+	h := st.slot
 	delay := simkit.SampleSeconds(p.cfg.Latencies.Terminate, p.rng)
 	p.sched.After(delay, "terminate "+string(id), func() {
-		p.destroy(st)
+		// A forced kill may have beaten this event and compacted the slot;
+		// the handle check keeps the destroy off a recycled entry.
+		if st := p.instSlab.Get(h); st != nil {
+			p.destroy(st)
+		}
 		if cb != nil {
 			cb(nil)
 		}
@@ -431,6 +560,11 @@ func (p *Platform) destroy(st *instanceState) {
 	// VPC semantics: addresses detach from the dead instance but remain
 	// allocated to the renter, who may reassign them elsewhere (this is
 	// what lets a nested VM keep its IP across a forced termination).
+	for _, a := range st.inst.IPs {
+		if p.ipAssigned[a] == st.inst {
+			delete(p.ipAssigned, a)
+		}
+	}
 	st.inst.IPs = nil
 	for _, vid := range st.inst.Volumes {
 		if v, ok := p.volumes[vid]; ok {
@@ -439,7 +573,9 @@ func (p *Platform) destroy(st *instanceState) {
 	}
 	st.inst.Volumes = nil
 	if st.inst.Market == cloud.MarketSpot {
-		delete(p.spotByMarket[st.market], st.inst.ID)
+		if list := p.spotByMarket[st.market]; list != nil {
+			list.remove(st)
+		}
 	}
 	// Billing is finalized here: Ended is set, so AccruedCost is the
 	// instance's whole-life bill.
@@ -448,12 +584,31 @@ func (p *Platform) destroy(st *instanceState) {
 			p.met.billed(st.inst.Market, float64(cost))
 		}
 	}
+	if p.cfg.CompactTerminated {
+		p.compact(st)
+	}
 }
 
-// Instance implements cloud.Provider.
+// compact recycles a terminated instance's ledger slot, keeping only its
+// final bill. The *cloud.Instance itself survives for any holder (the
+// controller's rental ledger keeps the pointer); only the platform-side
+// state is reclaimed.
+func (p *Platform) compact(st *instanceState) {
+	id := st.inst.ID
+	if cost, err := p.AccruedCost(id); err == nil {
+		p.finalCost[id] = cost
+	}
+	delete(p.instByID, id)
+	slot := st.slot
+	*st = instanceState{}
+	p.instSlab.Free(slot)
+}
+
+// Instance implements cloud.Provider. Compacted (terminated, fleet-mode)
+// instances are no longer resolvable.
 func (p *Platform) Instance(id cloud.InstanceID) (*cloud.Instance, error) {
-	st, ok := p.instances[id]
-	if !ok {
+	st := p.lookupInst(id)
+	if st == nil {
 		return nil, fmt.Errorf("%w: instance %s", cloud.ErrNotFound, id)
 	}
 	return st.inst, nil
@@ -468,8 +623,12 @@ func (p *Platform) OnRevocationWarning(fn func(cloud.RevocationWarning)) {
 // fixed rate; spot instances accrue the integral of the market price over
 // their running interval (EC2 bills the market price, not the bid).
 func (p *Platform) AccruedCost(id cloud.InstanceID) (cloud.USD, error) {
-	st, ok := p.instances[id]
-	if !ok {
+	st := p.lookupInst(id)
+	if st == nil {
+		// Compacted instances keep answering with their finalized bill.
+		if cost, ok := p.finalCost[id]; ok {
+			return cost, nil
+		}
 		return 0, fmt.Errorf("%w: instance %s", cloud.ErrNotFound, id)
 	}
 	inst := st.inst
@@ -487,6 +646,13 @@ func (p *Platform) AccruedCost(id cloud.InstanceID) (cloud.USD, error) {
 	case cloud.MarketOnDemand:
 		return cloud.USD(float64(inst.Type.OnDemand) * end.Sub(inst.Launched).Hours()), nil
 	case cloud.MarketSpot:
+		if p.cfg.PrefixBilling {
+			pi, err := p.prefixFor(inst.Type.Name, inst.Zone)
+			if err != nil {
+				return 0, err
+			}
+			return pi.Integrate(inst.Launched, end), nil
+		}
 		tr, err := p.trace(inst.Type.Name, inst.Zone)
 		if err != nil {
 			return 0, err
@@ -495,6 +661,25 @@ func (p *Platform) AccruedCost(id cloud.InstanceID) (cloud.USD, error) {
 	default:
 		return 0, fmt.Errorf("%w: unknown market %v", cloud.ErrBadState, inst.Market)
 	}
+}
+
+// prefixFor returns the market's cumulative price integral, building it on
+// first use (PrefixBilling only).
+func (p *Platform) prefixFor(typ string, zone cloud.Zone) (*spotmarket.PrefixIntegral, error) {
+	key := spotmarket.MarketKey{Type: typ, Zone: zone}
+	if pi, ok := p.prefix[key]; ok {
+		return pi, nil
+	}
+	tr, err := p.trace(typ, zone)
+	if err != nil {
+		return nil, err
+	}
+	if p.prefix == nil {
+		p.prefix = map[spotmarket.MarketKey]*spotmarket.PrefixIntegral{}
+	}
+	pi := tr.PrefixIntegral()
+	p.prefix[key] = pi
+	return pi, nil
 }
 
 // periodBilledCost implements 2015-era EC2 billing: every started period
@@ -553,34 +738,23 @@ func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
 				ticks.Inc()
 			}
 			price := cur.PriceAt(next)
-			for _, st := range p.spotInstancesSorted(key) {
-				if st.inst.State == cloud.StateRunning && price > st.inst.Bid {
-					p.warn(st, price)
+			// The list is id-ordered (deterministic warning delivery) and
+			// mutated only from launch/destroy events, never synchronously
+			// under a warning, so the live slice is safe to walk. A price
+			// at or below every outstanding bid cannot underbid anyone —
+			// skip the scan without touching a single instance.
+			if list := p.spotByMarket[key]; list != nil &&
+				len(list.insts) > 0 && price > list.floor() {
+				for _, st := range list.insts {
+					if st.inst.State == cloud.StateRunning && price > st.inst.Bid {
+						p.warn(st, price)
+					}
 				}
 			}
 			step(next)
 		})
 	}
 	step(0)
-}
-
-// spotInstancesSorted returns the market's running spot instances in ID
-// order for deterministic warning delivery.
-func (p *Platform) spotInstancesSorted(key spotmarket.MarketKey) []*instanceState {
-	m := p.spotByMarket[key]
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]*instanceState, 0, len(m))
-	for _, st := range m {
-		out = append(out, st)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].inst.ID < out[j-1].inst.ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }
 
 func (p *Platform) warn(st *instanceState, price cloud.USD) {

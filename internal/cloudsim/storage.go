@@ -26,8 +26,8 @@ func (p *Platform) AttachVolume(vol cloud.VolumeID, inst cloud.InstanceID, cb cl
 	if !ok {
 		return fmt.Errorf("%w: volume %s", cloud.ErrNotFound, vol)
 	}
-	st, ok := p.instances[inst]
-	if !ok {
+	st := p.lookupInst(inst)
+	if st == nil {
 		return fmt.Errorf("%w: instance %s", cloud.ErrNotFound, inst)
 	}
 	if v.AttachedTo != "" {
@@ -36,18 +36,21 @@ func (p *Platform) AttachVolume(vol cloud.VolumeID, inst cloud.InstanceID, cb cl
 	if s := st.inst.State; s != cloud.StateRunning && s != cloud.StateWarned {
 		return fmt.Errorf("%w: instance %s is %v", cloud.ErrBadState, inst, s)
 	}
-	// Reserve immediately so concurrent attaches fail fast.
+	// Reserve immediately so concurrent attaches fail fast. The closure
+	// captures the instance, not its ledger slot: the slot may be recycled
+	// (fleet mode) before the attach lands, the instance never is.
 	v.AttachedTo = inst
+	target := st.inst
 	delay := simkit.SampleSeconds(p.cfg.Latencies.AttachVolume, p.rng)
 	p.sched.After(delay, "attach-vol "+string(vol), func() {
-		if st.inst.State == cloud.StateTerminated {
+		if target.State == cloud.StateTerminated {
 			v.AttachedTo = ""
 			if cb != nil {
 				cb(fmt.Errorf("%w: instance %s terminated during attach", cloud.ErrBadState, inst))
 			}
 			return
 		}
-		st.inst.Volumes = append(st.inst.Volumes, vol)
+		target.Volumes = append(target.Volumes, vol)
 		if cb != nil {
 			cb(nil)
 		}
@@ -64,11 +67,14 @@ func (p *Platform) DetachVolume(vol cloud.VolumeID, cb cloud.Callback) error {
 	if v.AttachedTo == "" {
 		return fmt.Errorf("%w: volume %s not attached", cloud.ErrBadState, vol)
 	}
-	st := p.instances[v.AttachedTo]
+	var target *cloud.Instance
+	if st := p.lookupInst(v.AttachedTo); st != nil {
+		target = st.inst
+	}
 	delay := simkit.SampleSeconds(p.cfg.Latencies.DetachVolume, p.rng)
 	p.sched.After(delay, "detach-vol "+string(vol), func() {
-		if st != nil {
-			st.inst.Volumes = removeVolume(st.inst.Volumes, vol)
+		if target != nil {
+			target.Volumes = removeVolume(target.Volumes, vol)
 		}
 		v.AttachedTo = ""
 		if cb != nil {
@@ -162,11 +168,10 @@ func (p *Platform) ReleaseIP(addr cloud.Addr) error {
 	if !p.ipPool.inUse[addr] {
 		return fmt.Errorf("%w: address %s not allocated", cloud.ErrNotFound, addr)
 	}
-	// Must not be assigned to an instance.
-	for _, st := range p.instances {
-		if st.inst.State != cloud.StateTerminated && st.inst.HasIP(addr) {
-			return fmt.Errorf("%w: address %s assigned to %s", cloud.ErrBadState, addr, st.inst.ID)
-		}
+	// Must not be assigned to an instance. The index replaces the historical
+	// whole-ledger scan (O(fleet) per release).
+	if holder, ok := p.ipAssigned[addr]; ok {
+		return fmt.Errorf("%w: address %s assigned to %s", cloud.ErrBadState, addr, holder.ID)
 	}
 	p.ipPool.release(addr)
 	return nil
@@ -174,8 +179,8 @@ func (p *Platform) ReleaseIP(addr cloud.Addr) error {
 
 // AssignIP implements cloud.Provider.
 func (p *Platform) AssignIP(inst cloud.InstanceID, addr cloud.Addr, cb cloud.Callback) error {
-	st, ok := p.instances[inst]
-	if !ok {
+	st := p.lookupInst(inst)
+	if st == nil {
 		return fmt.Errorf("%w: instance %s", cloud.ErrNotFound, inst)
 	}
 	if !p.ipPool.inUse[addr] {
@@ -184,20 +189,20 @@ func (p *Platform) AssignIP(inst cloud.InstanceID, addr cloud.Addr, cb cloud.Cal
 	if s := st.inst.State; s != cloud.StateRunning && s != cloud.StateWarned {
 		return fmt.Errorf("%w: instance %s is %v", cloud.ErrBadState, inst, s)
 	}
-	for _, other := range p.instances {
-		if other.inst.State != cloud.StateTerminated && other.inst.HasIP(addr) {
-			return fmt.Errorf("%w: address %s already assigned to %s", cloud.ErrBadState, addr, other.inst.ID)
-		}
+	if holder, ok := p.ipAssigned[addr]; ok {
+		return fmt.Errorf("%w: address %s already assigned to %s", cloud.ErrBadState, addr, holder.ID)
 	}
+	target := st.inst
 	delay := simkit.SampleSeconds(p.cfg.Latencies.AttachIP, p.rng)
 	p.sched.After(delay, "assign-ip "+addr.String(), func() {
-		if st.inst.State == cloud.StateTerminated {
+		if target.State == cloud.StateTerminated {
 			if cb != nil {
 				cb(fmt.Errorf("%w: instance %s terminated during IP assign", cloud.ErrBadState, inst))
 			}
 			return
 		}
-		st.inst.IPs = append(st.inst.IPs, addr)
+		target.IPs = append(target.IPs, addr)
+		p.ipAssigned[addr] = target
 		if cb != nil {
 			cb(nil)
 		}
@@ -207,22 +212,26 @@ func (p *Platform) AssignIP(inst cloud.InstanceID, addr cloud.Addr, cb cloud.Cal
 
 // UnassignIP implements cloud.Provider.
 func (p *Platform) UnassignIP(inst cloud.InstanceID, addr cloud.Addr, cb cloud.Callback) error {
-	st, ok := p.instances[inst]
-	if !ok {
+	st := p.lookupInst(inst)
+	if st == nil {
 		return fmt.Errorf("%w: instance %s", cloud.ErrNotFound, inst)
 	}
 	if !st.inst.HasIP(addr) {
 		return fmt.Errorf("%w: address %s not on instance %s", cloud.ErrBadState, addr, inst)
 	}
+	target := st.inst
 	delay := simkit.SampleSeconds(p.cfg.Latencies.DetachIP, p.rng)
 	p.sched.After(delay, "unassign-ip "+addr.String(), func() {
-		out := st.inst.IPs[:0]
-		for _, a := range st.inst.IPs {
+		out := target.IPs[:0]
+		for _, a := range target.IPs {
 			if a != addr {
 				out = append(out, a)
 			}
 		}
-		st.inst.IPs = out
+		target.IPs = out
+		if p.ipAssigned[addr] == target {
+			delete(p.ipAssigned, addr)
+		}
 		if cb != nil {
 			cb(nil)
 		}

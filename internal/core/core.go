@@ -1,13 +1,3 @@
-// Package core implements the SpotCheck controller — the paper's primary
-// contribution (§4, §5). The controller rents spot and on-demand servers
-// from a native IaaS provider, slices them into nested VMs for customers,
-// maintains backup servers for bounded-time migration, and transparently
-// migrates nested VMs between server pools when spot servers are revoked or
-// when cheaper spot capacity reappears.
-//
-// The controller is single-threaded: it runs entirely on the simulation's
-// event loop (exactly like the paper's centralized controller process) and
-// reacts to provider callbacks and revocation warnings.
 package core
 
 import (
@@ -21,6 +11,7 @@ import (
 	"repro/internal/nestedvm"
 	"repro/internal/obs"
 	"repro/internal/simkit"
+	"repro/internal/slab"
 	"repro/internal/spotmarket"
 	"repro/internal/workload"
 )
@@ -108,6 +99,23 @@ type Config struct {
 	// back to restoring from its checkpoint, without one it loses memory
 	// state — exactly the risk the paper describes.
 	Predictive PredictiveConfig
+
+	// ExpectedVMs pre-sizes the controller's fleet state — the VM and host
+	// slabs, the boundary ID maps and the rental ledger — so a run of known
+	// scale never grows them mid-simulation. Zero starts small and grows on
+	// demand.
+	ExpectedVMs int
+	// RecycleReleased frees a released VM's controller state for reuse by
+	// later requests, folding its final accounting into retained aggregate
+	// totals (Report and Customers are unchanged; the time-derived figures
+	// are exact because the fold sums integer durations). Per-VM
+	// introspection (DescribeVM, Events, ListVMs) forgets recycled VMs.
+	// Default off: every VM's state is retained for the whole run, which
+	// the golden-figure experiments rely on.
+	RecycleReleased bool
+	// EventLogCap overrides the per-VM audit-timeline retention bound
+	// (default 256 events; the oldest half is dropped on overflow).
+	EventLogCap int
 
 	// Seed drives the controller's probabilistic policies.
 	Seed int64
@@ -204,6 +212,19 @@ type vmState struct {
 	// (e.g. a replicated web tier, §4.2): it runs without a backup server
 	// and simply reboots from its volume on a new host after revocation.
 	stateless bool
+	// slot is this state's slab handle: scheduled callbacks that may
+	// outlive the VM capture it and re-check liveness before touching the
+	// (possibly recycled) slot.
+	slot slab.Handle
+	// recycleDeferred defers slot recycling for a VM released while its
+	// provisioning chain is still in flight: the chain's released-exit
+	// point frees the slot instead of teardownVM, so the chain's pending
+	// continuation never reads a recycled slot.
+	recycleDeferred bool
+	// pinnedSrc is the terminated migration destination this VM's recovery
+	// chain still references as its source; the pin keeps that host's slot
+	// from being recycled until the chain re-enters completeMove.
+	pinnedSrc *hostState
 }
 
 type hostRole int
@@ -220,19 +241,50 @@ type hostState struct {
 	role     hostRole
 	slotType cloud.InstanceType // nested VM size this host is sliced into
 	capacity int
-	vms      map[nestedvm.ID]*vmState
+	// vms holds the resident VMs sorted by VM id — the iteration order
+	// every sweep and warning handler needs, maintained incrementally
+	// instead of copied and re-sorted per walk.
+	vms      []*vmState
 	reserved int // slots claimed by in-flight placements/migrations
 	// warned marks a host whose revocation warning has fired.
 	warned       bool
 	warnDeadline simkit.Time
+	// slot is this state's slab handle (see vmState.slot).
+	slot slab.Handle
+	// pinned counts in-flight recovery chains still holding this host as
+	// their migration source after it terminated; a pinned host's slot is
+	// never recycled (see completeMove's dst-terminated branch).
+	pinned int
+	// inFreeSet marks membership in the pool's free-host candidate set.
+	inFreeSet bool
 }
 
 func (h *hostState) free() int { return h.capacity - len(h.vms) - h.reserved }
 
+// vmByID finds a resident VM by id (binary search over the sorted slice).
+func (h *hostState) vmByID(id nestedvm.ID) *vmState {
+	i := sort.Search(len(h.vms), func(i int) bool { return h.vms[i].vm.ID >= id })
+	if i < len(h.vms) && h.vms[i].vm.ID == id {
+		return h.vms[i]
+	}
+	return nil
+}
+
 type poolState struct {
-	key   PoolKey
-	bid   cloud.USD
-	hosts map[cloud.InstanceID]*hostState
+	key PoolKey
+	bid cloud.USD
+	// hosts is kept sorted by instance id — the deterministic order the
+	// sweeps and freeHost historically derived by copy-and-sort per call.
+	hosts []*hostState
+	// freeCands is a superset of the pool's hosts with free slots, also
+	// instance-id sorted. Hosts are inserted whenever their free capacity
+	// rises from zero and pruned lazily when a scan finds them full,
+	// warned or dead — so freeHost touches only plausible candidates
+	// instead of the whole pool.
+	freeCands []*hostState
+	// vmCount is the incremental sum of len(h.vms) across hosts, keeping
+	// the pool-occupancy gauge O(1) to refresh.
+	vmCount int
 	// revocations counts revocation events hitting this pool.
 	revocations int
 }
@@ -244,9 +296,22 @@ type Controller struct {
 	prov  cloud.Provider
 	rng   *rand.Rand
 
-	pools   map[PoolKey]*poolState
-	hosts   map[cloud.InstanceID]*hostState
-	vms     map[nestedvm.ID]*vmState
+	pools map[PoolKey]*poolState
+	// poolKeys caches the sorted pool keys (pools are never removed);
+	// poolKeyScratch is the reusable snapshot the sweeps iterate, since a
+	// sweep can create pools mid-walk.
+	poolKeys       []PoolKey
+	poolKeyScratch []PoolKey
+
+	// vmSlab and hostSlab hold all controller-side VM and host state in
+	// index-addressed, pre-sizable chunks; vmIndex and hostIndex are the
+	// boundary maps translating external IDs to generation-checked
+	// handles. Internal code passes stable *vmState/*hostState pointers.
+	vmSlab    *slab.Slab[vmState]
+	vmIndex   map[nestedvm.ID]slab.Handle
+	hostSlab  *slab.Slab[hostState]
+	hostIndex map[cloud.InstanceID]slab.Handle
+
 	backups *backup.Pool
 	// backupHosts maps backup server id -> native instance state.
 	backupHosts map[string]*hostState
@@ -254,15 +319,24 @@ type Controller struct {
 	spares       []*hostState // ready hot spares
 	sparePending int
 
-	pendingAcqs []*pendingAcq
+	// acqIndex holds in-flight host acquisitions that can still absorb
+	// waiters, keyed by pool and slice size; filled or finished entries
+	// are pruned lazily on lookup.
+	acqIndex map[acqKey][]*pendingAcq
 
 	history *History
 	events  *eventLog
 
 	nextVM int
 
-	// rentals tracks every native instance ever rented (for cost).
-	rentals []rental
+	// rentals tracks every native instance ever rented (for cost). Each
+	// entry memoizes its final cost once the instance terminates; with
+	// RecycleReleased the finalized entries periodically fold into
+	// rentalFinal so the ledger stays proportional to live instances.
+	rentals         []rental
+	rentalFinal     [3]cloud.USD // folded cost by rentalKind
+	rentalsScrubbed int          // ledger length after the last fold
+	retired         retiredVMStats
 
 	// lastAboveOD stamps when each market's price last met or exceeded
 	// the on-demand price (return hold-down, §4.3).
@@ -274,6 +348,13 @@ type Controller struct {
 	// sample maps: each tick swaps it in (cleared) instead of copying,
 	// so the per-tick snapshot allocates nothing.
 	prevPriceSpare map[spotmarket.MarketKey]cloud.USD
+	// tickPrices is the per-tick market snapshot observePrices builds and
+	// the sweeps consume, so one tick queries each market's cursor once
+	// instead of once per pool (and once per VM in the return sweep).
+	tickPrices map[spotmarket.MarketKey]marketSample
+	// calmCache memoizes spotCalmFor per requested-type name within one
+	// tick: every VM of a type shares the same market-calm answer.
+	calmCache map[string]bool
 
 	// met holds the pre-resolved observability instruments; Stats() derives
 	// ControllerStats from it.
@@ -286,6 +367,34 @@ type Controller struct {
 	monitorEvent simkit.Event
 	// shutdown marks a drained controller: no new spares or placements.
 	shutdown bool
+}
+
+// marketSample is one market's per-tick observation: its spot price and the
+// matching on-demand price (odOK false when the type has no on-demand
+// quote, which the sweeps treat as the market being unusable).
+type marketSample struct {
+	price cloud.USD
+	od    cloud.USD
+	odOK  bool
+}
+
+// retiredVMStats accumulates the final accounting of VMs whose controller
+// state has been recycled (Config.RecycleReleased). All sums are integer
+// durations held in overflow-proof accumulators (durAcc — fleet-scale
+// service totals outgrow int64 nanoseconds), so totals are exactly what a
+// retained per-VM walk would produce regardless of fold order.
+type retiredVMStats struct {
+	service, down, degraded durAcc
+	maxDownSpell            simkit.Time
+	tcpBreaks               int
+	byCustomer              map[string]*retiredCustomer
+}
+
+type retiredCustomer struct {
+	vms      int
+	service  durAcc
+	stateful durAcc
+	down     durAcc
 }
 
 // ControllerStats counts controller-level events.
@@ -318,8 +427,12 @@ const (
 )
 
 type rental struct {
-	id   cloud.InstanceID
+	inst *cloud.Instance
 	kind rentalKind
+	// cost memoizes the instance's final bill once it terminates, so
+	// repeated Reports stop re-walking finished instances' price history.
+	cost  cloud.USD
+	final bool
 }
 
 // StormEvent records one batch of concurrent revocations (Table 3).
@@ -338,18 +451,26 @@ func New(cfg Config) (*Controller, error) {
 	if _, ok := cfg.Provider.TypeByName(cfg.BackupType); !ok {
 		return nil, fmt.Errorf("core: backup type %q not in catalog", cfg.BackupType)
 	}
+	exp := cfg.ExpectedVMs
 	c := &Controller{
 		cfg:         cfg,
 		sched:       cfg.Scheduler,
 		prov:        cfg.Provider,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		pools:       map[PoolKey]*poolState{},
-		hosts:       map[cloud.InstanceID]*hostState{},
-		vms:         map[nestedvm.ID]*vmState{},
+		vmSlab:      slab.New[vmState](exp),
+		vmIndex:     make(map[nestedvm.ID]slab.Handle, exp),
+		hostSlab:    slab.New[hostState](exp),
+		hostIndex:   make(map[cloud.InstanceID]slab.Handle, exp),
 		backupHosts: map[string]*hostState{},
+		acqIndex:    map[acqKey][]*pendingAcq{},
 		history:     NewHistory(),
-		events:      newEventLog(0),
+		events:      newEventLog(cfg.EventLogCap),
+		retired:     retiredVMStats{byCustomer: map[string]*retiredCustomer{}},
 		met:         newCoreMetrics(cfg.Metrics, cfg.Trace),
+	}
+	if exp > 0 {
+		c.rentals = make([]rental, 0, exp)
 	}
 	// Backup-server I/O tuning follows the mechanism: the SpotCheck
 	// variants run the fadvise/ext4-tuned backup servers of §5.
@@ -374,22 +495,206 @@ func (c *Controller) Storms() []StormEvent { return append([]StormEvent(nil), c.
 // reports).
 func (c *Controller) History() *History { return c.history }
 
-// vmIDsSorted returns all VM ids in stable order.
+// vmIDsSorted returns all tracked VM ids in stable order.
 func (c *Controller) vmIDsSorted() []nestedvm.ID {
-	ids := make([]nestedvm.ID, 0, len(c.vms))
-	for id := range c.vms {
+	ids := make([]nestedvm.ID, 0, len(c.vmIndex))
+	for id := range c.vmIndex {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-// hostVMsSorted returns a host's VMs in stable order.
-func hostVMsSorted(h *hostState) []*vmState {
-	out := make([]*vmState, 0, len(h.vms))
-	for _, vs := range h.vms {
-		out = append(out, vs)
+// lookupVM resolves an external VM id to its live state (nil if unknown or
+// recycled).
+func (c *Controller) lookupVM(id nestedvm.ID) *vmState {
+	h, ok := c.vmIndex[id]
+	if !ok {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].vm.ID < out[j].vm.ID })
-	return out
+	return c.vmSlab.Get(h)
+}
+
+// lookupHost resolves a native instance id to its live host state.
+func (c *Controller) lookupHost(id cloud.InstanceID) *hostState {
+	h, ok := c.hostIndex[id]
+	if !ok {
+		return nil
+	}
+	return c.hostSlab.Get(h)
+}
+
+// newVMState allocates a slab slot for a fresh VM, resetting any recycled
+// contents.
+func (c *Controller) newVMState() *vmState {
+	vs, h := c.vmSlab.Alloc()
+	*vs = vmState{slot: h}
+	return vs
+}
+
+// newHostState allocates a slab slot for a fresh host. The recycled slot's
+// VM slice buffer is kept so churned hosts stop allocating.
+func (c *Controller) newHostState() *hostState {
+	h, slot := c.hostSlab.Alloc()
+	buf := h.vms
+	*h = hostState{slot: slot}
+	h.vms = buf[:0]
+	return h
+}
+
+// freeVMSlot recycles a released VM's slab slot, folding its final
+// accounting into the retained aggregates first (RecycleReleased only).
+func (c *Controller) freeVMSlot(vs *vmState) {
+	vm := vs.vm
+	end := vs.serviceEnd
+	if end >= vm.Created {
+		// Fold exactly the per-VM contributions Report and Customers would
+		// have computed from the retained state. Every sum is an integer
+		// duration, so the fold is order-independent and exact.
+		life := end - vm.Created
+		d, g := vm.Ledger.Snapshot(end)
+		c.retired.service.add(life)
+		c.retired.down.add(d)
+		c.retired.degraded.add(g)
+		if spell := vm.Ledger.MaxDownSpell(end); spell > c.retired.maxDownSpell {
+			c.retired.maxDownSpell = spell
+		}
+		c.retired.tcpBreaks += vm.Ledger.SpellsExceeding(TCPTimeout, end)
+		rc := c.retired.byCustomer[vm.Customer]
+		if rc == nil {
+			rc = &retiredCustomer{}
+			c.retired.byCustomer[vm.Customer] = rc
+		}
+		rc.vms++
+		rc.service.add(life)
+		if !vs.stateless {
+			rc.stateful.add(life)
+		}
+		rc.down.add(d)
+	}
+	delete(c.vmIndex, vm.ID)
+	c.events.drop(vm.ID)
+	slot := vs.slot
+	// Keep the slot readable as "released" for any same-instant stale
+	// reader; the next Alloc fully resets it.
+	*vs = vmState{phase: phaseReleased}
+	c.vmSlab.Free(slot)
+}
+
+// releaseDeferredSlot frees a recycle-deferred VM slot at a provisioning
+// chain's released-exit point (see vmState.recycleDeferred).
+func (c *Controller) releaseDeferredSlot(vs *vmState) {
+	if !vs.recycleDeferred {
+		return
+	}
+	vs.recycleDeferred = false
+	c.freeVMSlot(vs)
+}
+
+// hostAddVM inserts a VM into its host's sorted resident list and keeps the
+// pool's occupancy counter current.
+func (c *Controller) hostAddVM(h *hostState, vs *vmState) {
+	i := sort.Search(len(h.vms), func(i int) bool { return h.vms[i].vm.ID >= vs.vm.ID })
+	h.vms = append(h.vms, nil)
+	copy(h.vms[i+1:], h.vms[i:])
+	h.vms[i] = vs
+	if h.role == roleHost {
+		if pool := c.pools[h.key]; pool != nil {
+			pool.vmCount++
+		}
+	}
+}
+
+// hostRemoveVM removes a VM from its host's resident list (no-op when
+// absent, e.g. a recovery chain replaying a move off an already-emptied
+// terminated host) and re-offers the freed slot to placements.
+func (c *Controller) hostRemoveVM(h *hostState, vs *vmState) {
+	i := sort.Search(len(h.vms), func(i int) bool { return h.vms[i].vm.ID >= vs.vm.ID })
+	if i >= len(h.vms) || h.vms[i] != vs {
+		return
+	}
+	copy(h.vms[i:], h.vms[i+1:])
+	h.vms[len(h.vms)-1] = nil
+	h.vms = h.vms[:len(h.vms)-1]
+	if h.role == roleHost {
+		if pool := c.pools[h.key]; pool != nil {
+			pool.vmCount--
+		}
+	}
+	c.hostFreed(h)
+}
+
+// hostFreed records that a host may have regained free capacity, entering
+// it into its pool's free-host candidate set. Callers invoke it at every
+// point where free() can rise from zero; ineligible hosts are pruned
+// lazily by freeHost's scan.
+func (c *Controller) hostFreed(h *hostState) {
+	if h.role != roleHost || h.inFreeSet || h.warned || h.free() <= 0 {
+		return
+	}
+	if h.inst == nil || h.inst.State != cloud.StateRunning {
+		return
+	}
+	pool := c.pools[h.key]
+	if pool == nil {
+		return
+	}
+	insertHostSorted(&pool.freeCands, h)
+	h.inFreeSet = true
+}
+
+// insertHostSorted inserts h into an instance-id-sorted host list.
+func insertHostSorted(list *[]*hostState, h *hostState) {
+	s := *list
+	i := sort.Search(len(s), func(i int) bool { return s[i].inst.ID >= h.inst.ID })
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = h
+	*list = s
+}
+
+// removeHostSorted removes h from an instance-id-sorted host list.
+func removeHostSorted(list *[]*hostState, h *hostState) {
+	s := *list
+	i := sort.Search(len(s), func(i int) bool { return s[i].inst.ID >= h.inst.ID })
+	if i >= len(s) || s[i] != h {
+		return
+	}
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	*list = s[:len(s)-1]
+}
+
+// maybeScrubRentals compacts the rental ledger in fleet mode: terminated
+// instances' bills never change, so their final costs fold into rentalFinal
+// and the entries drop. Amortized triggering (the ledger must double since
+// the last scrub) keeps the whole-ledger pass O(1) per append. Default runs
+// keep every entry — Report's per-entry summation order is part of the
+// golden digests.
+func (c *Controller) maybeScrubRentals() {
+	if !c.cfg.RecycleReleased {
+		return
+	}
+	if len(c.rentals) < 64 || len(c.rentals) < 2*c.rentalsScrubbed {
+		return
+	}
+	kept := c.rentals[:0]
+	for i := range c.rentals {
+		rt := c.rentals[i]
+		if !rt.final && rt.inst.State == cloud.StateTerminated {
+			if cost, err := c.prov.AccruedCost(rt.inst.ID); err == nil {
+				rt.cost, rt.final = cost, true
+			}
+		}
+		if rt.final {
+			c.rentalFinal[rt.kind] += rt.cost
+		} else {
+			kept = append(kept, rt)
+		}
+	}
+	for i := len(kept); i < len(c.rentals); i++ {
+		c.rentals[i] = rental{}
+	}
+	c.rentals = kept
+	c.rentalsScrubbed = len(kept)
 }

@@ -171,7 +171,7 @@ func TestRevocationMigratesToOnDemand(t *testing.T) {
 		t.Error("on-demand-hosted VM should not hold a backup server")
 	}
 	// The volume followed the VM.
-	vs := r.ctrl.vms[id]
+	vs := r.ctrl.lookupVM(id)
 	if vol, err := r.plat.Volume(vs.vm.Volume); err != nil || vol.AttachedTo != vs.host.inst.ID {
 		t.Errorf("volume not attached to new host: %+v err=%v", vol, err)
 	}
@@ -229,7 +229,7 @@ func TestYankDowntimeExceedsSpotCheck(t *testing.T) {
 		r := newRig(t, mkTraces(), func(c *Config) { c.Mechanism = mech })
 		id := r.request(t, "alice")
 		r.run(t, 12*simkit.Hour)
-		vs := r.ctrl.vms[id]
+		vs := r.ctrl.lookupVM(id)
 		down, _ := vs.vm.Ledger.Snapshot(r.sched.Now())
 		return down
 	}
@@ -264,7 +264,7 @@ func TestXenLiveSurvivesRevocation(t *testing.T) {
 	if info.BackupServer != "" {
 		t.Error("XenLive uses no backup servers")
 	}
-	vs := r.ctrl.vms[id]
+	vs := r.ctrl.lookupVM(id)
 	down, _ := vs.vm.Ledger.Snapshot(r.sched.Now())
 	if down > 2*simkit.Second {
 		t.Errorf("live migration downtime = %v, want sub-second stop-and-copy", down)
@@ -303,7 +303,7 @@ func TestXenLiveLosesVMWithShortWarning(t *testing.T) {
 	if ctrl.Stats().VMsLostMemoryState != 1 {
 		t.Fatalf("lost = %d, want 1 (pre-copy cannot fit in 10 s)", ctrl.Stats().VMsLostMemoryState)
 	}
-	vs := ctrl.vms[id]
+	vs := ctrl.lookupVM(id)
 	down, _ := vs.vm.Ledger.Snapshot(sched.Now())
 	// Reboot-from-volume recovery: ~150 s of downtime.
 	if down < 100*simkit.Second {
@@ -452,7 +452,7 @@ func TestProactiveMigrationAvoidsRevocation(t *testing.T) {
 	if r.plat.Stats().WarningsIssued != 0 {
 		t.Errorf("platform issued %d warnings; the 2x bid should prevent them", r.plat.Stats().WarningsIssued)
 	}
-	vs := r.ctrl.vms[id]
+	vs := r.ctrl.lookupVM(id)
 	down, _ := vs.vm.Ledger.Snapshot(r.sched.Now())
 	if down > 2*simkit.Second {
 		t.Errorf("proactive live migration downtime = %v, want sub-second", down)
@@ -498,7 +498,7 @@ func TestReleaseDuringMigrationDefers(t *testing.T) {
 	id := r.request(t, "alice")
 	// Stop just after the warning fires (mid-migration).
 	r.run(t, 10*simkit.Hour+5*simkit.Second)
-	vs := r.ctrl.vms[id]
+	vs := r.ctrl.lookupVM(id)
 	if vs.phase != phaseMigrating {
 		t.Fatalf("phase = %v, want migrating", vs.phase)
 	}

@@ -43,8 +43,8 @@ const replumbMean = simkit.Time(22.65 * float64(simkit.Second))
 // EstimateMigration computes the what-if for one VM under the controller's
 // configured mechanism and the current backup-server load.
 func (c *Controller) EstimateMigration(id nestedvm.ID) (MigrationEstimate, error) {
-	vs, ok := c.vms[id]
-	if !ok {
+	vs := c.lookupVM(id)
+	if vs == nil {
 		return MigrationEstimate{}, fmt.Errorf("core: unknown VM %s", id)
 	}
 	vm := vs.vm

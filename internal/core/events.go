@@ -63,6 +63,13 @@ func (l *eventLog) add(id nestedvm.ID, at simkit.Time, kind EventKind, format st
 	l.byVM[id] = append(evs, Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)})
 }
 
+// drop discards a VM's timeline (slot recycling; the VM is gone for good).
+func (l *eventLog) drop(id nestedvm.ID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.byVM, id)
+}
+
 func (l *eventLog) get(id nestedvm.ID) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()

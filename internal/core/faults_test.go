@@ -167,7 +167,7 @@ func TestDestinationDiesMidMigration(t *testing.T) {
 	if info.Phase != "running" {
 		t.Fatalf("VM did not recover: %+v", info)
 	}
-	vs := r.ctrl.vms[a]
+	vs := r.ctrl.lookupVM(a)
 	if vs.host.inst.State == cloud.StateTerminated {
 		t.Fatal("VM running on a terminated host")
 	}

@@ -52,7 +52,7 @@ func TestStatelessRevocationReboots(t *testing.T) {
 	if info.Market != "on-demand" {
 		t.Fatalf("stateless VM not re-homed: %+v", info)
 	}
-	vs := r.ctrl.vms[id]
+	vs := r.ctrl.lookupVM(id)
 	down, degraded := vs.vm.Ledger.Snapshot(r.sched.Now())
 	// The VM served until the forced kill (full 120 s window) and then
 	// booted for ~30 s on the destination: downtime ≈ boot time since the
@@ -159,7 +159,7 @@ func TestPredictiveMigrationBeatsWarning(t *testing.T) {
 	if info.Market != "on-demand" {
 		t.Errorf("VM not evacuated: %+v", info)
 	}
-	vs := r.ctrl.vms[id]
+	vs := r.ctrl.lookupVM(id)
 	down, _ := vs.vm.Ledger.Snapshot(r.sched.Now())
 	if down > 2*simkit.Second {
 		t.Errorf("predictive live migration downtime = %v, want sub-second", down)

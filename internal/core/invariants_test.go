@@ -21,12 +21,25 @@ func TestControllerInvariantsUnderRandomScenarios(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runRandomScenario(t, seed)
+			runRandomScenario(t, seed, false)
 		})
 	}
 }
 
-func runRandomScenario(t *testing.T, seed int64) {
+// TestControllerInvariantsFleetMode replays the adversarial scenarios with
+// every fleet-scale knob on — slab recycling on both sides, instance
+// compaction, prefix billing — so release/revocation churn exercises the
+// free lists under audit.
+func TestControllerInvariantsFleetMode(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runRandomScenario(t, seed, true)
+		})
+	}
+}
+
+func runRandomScenario(t *testing.T, seed int64, fleet bool) {
 	rng := rand.New(rand.NewSource(seed))
 	horizon := simkit.Time(10+rng.Intn(30)) * simkit.Day
 
@@ -46,11 +59,17 @@ func runRandomScenario(t *testing.T, seed int64) {
 	}
 
 	sched := simkit.NewScheduler()
-	plat, err := cloudsim.New(sched, cloudsim.Config{
+	platCfg := cloudsim.Config{
 		Traces:         traces,
 		Seed:           seed,
 		ODStockoutProb: float64(rng.Intn(3)) * 0.05, // 0, 5% or 10%
-	})
+	}
+	if fleet {
+		platCfg.ExpectedInstances = 32
+		platCfg.CompactTerminated = true
+		platCfg.PrefixBilling = true
+	}
+	plat, err := cloudsim.New(sched, platCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,6 +95,10 @@ func runRandomScenario(t *testing.T, seed int64) {
 	}
 	if rng.Intn(3) == 0 {
 		cfg.Predictive = PredictiveConfig{Enabled: true}
+	}
+	if fleet {
+		cfg.ExpectedVMs = 16
+		cfg.RecycleReleased = true
 	}
 	ctrl, err := New(cfg)
 	if err != nil {
@@ -123,7 +146,11 @@ func auditController(t *testing.T, c *Controller, mech migration.Mechanism) {
 
 	seenIPs := map[cloud.Addr]nestedvm.ID{}
 	for _, id := range c.vmIDsSorted() {
-		vs := c.vms[id]
+		vs := c.lookupVM(id)
+		if vs == nil {
+			t.Errorf("%s: indexed but not resolvable", id)
+			continue
+		}
 		vm := vs.vm
 
 		// Ledger conservation: down + degraded never exceeds service time.
@@ -145,7 +172,7 @@ func auditController(t *testing.T, c *Controller, mech migration.Mechanism) {
 				t.Errorf("%s: running with no host", id)
 				continue
 			}
-			if h.vms[id] != vs {
+			if h.vmByID(id) != vs {
 				t.Errorf("%s: not registered on its host %s", id, h.inst.ID)
 			}
 			if h.inst.State == cloud.StateTerminated {
@@ -173,7 +200,12 @@ func auditController(t *testing.T, c *Controller, mech migration.Mechanism) {
 	}
 
 	// Host slot accounting.
-	for instID, h := range c.hosts {
+	for instID := range c.hostIndex {
+		h := c.lookupHost(instID)
+		if h == nil {
+			t.Errorf("host %s: indexed but not resolvable", instID)
+			continue
+		}
 		if h.role != roleHost {
 			continue
 		}
@@ -183,9 +215,9 @@ func auditController(t *testing.T, c *Controller, mech migration.Mechanism) {
 		if h.free() < 0 {
 			t.Errorf("host %s: negative free slots", instID)
 		}
-		for id, vs := range h.vms {
+		for _, vs := range h.vms {
 			if vs.host != h {
-				t.Errorf("host %s lists %s but the VM points elsewhere", instID, id)
+				t.Errorf("host %s lists %s but the VM points elsewhere", instID, vs.vm.ID)
 			}
 		}
 	}

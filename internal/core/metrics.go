@@ -128,12 +128,8 @@ func (m *coreMetrics) syncPool(pool *poolState) {
 		vg = m.reg.Gauge("spotcheck_pool_vms", poolLabel(pool.key))
 		m.poolVMs[pool.key] = vg
 	}
-	vms := 0
-	for _, h := range pool.hosts {
-		vms += len(h.vms)
-	}
 	hg.Set(float64(len(pool.hosts)))
-	vg.Set(float64(vms))
+	vg.Set(float64(pool.vmCount))
 }
 
 // syncPoolOf refreshes the gauges of the pool a host belongs to.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cloud"
 	"repro/internal/migration"
@@ -44,8 +45,8 @@ func (r migrationReason) String() string {
 // every resident nested VM must be off the server (or at least safe on its
 // backup server) before the deadline.
 func (c *Controller) onRevocationWarning(w cloud.RevocationWarning) {
-	h, ok := c.hosts[w.Instance.ID]
-	if !ok || h.role != roleHost {
+	h := c.lookupHost(w.Instance.ID)
+	if h == nil || h.role != roleHost {
 		return
 	}
 	h.warned = true
@@ -57,7 +58,10 @@ func (c *Controller) onRevocationWarning(w cloud.RevocationWarning) {
 	mkey := spotmarket.MarketKey{Type: h.key.Type, Zone: h.key.Zone}
 	c.history.ObserveRevocation(mkey)
 
-	victims := hostVMsSorted(h)
+	// h.vms is id-sorted and no migration path removes a VM from its source
+	// synchronously (completeMove always runs from a later event), so the
+	// live slice is safe to walk directly.
+	victims := h.vms
 	running := 0
 	for _, vs := range victims {
 		if vs.phase == phaseRunning {
@@ -328,9 +332,14 @@ func (c *Controller) chooseDestination(vs *vmState, forceOD bool, cb func(h *hos
 // findStagingSlot looks for spare capacity on an existing, unwarned,
 // running host (any pool) whose slice size matches.
 func (c *Controller) findStagingSlot(vs *vmState) *hostState {
-	for _, id := range sortedHostIDs(c.hosts) {
-		h := c.hosts[id]
-		if h.role != roleHost || h.warned || h.free() <= 0 {
+	ids := make([]cloud.InstanceID, 0, len(c.hostIndex))
+	for id := range c.hostIndex {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		h := c.lookupHost(id)
+		if h == nil || h.role != roleHost || h.warned || h.free() <= 0 {
 			continue
 		}
 		if h.inst.State != cloud.StateRunning {
@@ -433,9 +442,17 @@ func (c *Controller) restoreOnDestination(vs *vmState, src, dst *hostState, stag
 		}
 		if staged && vs.phase == phaseRunning {
 			// Staging placement: schedule the second hop to a fresh
-			// on-demand server once the dust settles.
+			// on-demand server once the dust settles. The timer may outlive
+			// the VM (slot recycled) or the host (slot recycled for another
+			// instance), so it re-validates by handle generation and by
+			// instance id — instance ids are monotonic and never reused.
+			vh := vs.slot
+			dstID := dst.inst.ID
 			c.sched.After(c.cfg.MonitorInterval, "staging-hop "+string(vm.ID), func() {
-				if vs.phase == phaseRunning && vs.host == dst {
+				if c.vmSlab.Get(vh) == nil {
+					return
+				}
+				if vs.phase == phaseRunning && vs.host != nil && vs.host.inst.ID == dstID {
 					c.migrateVM(vs, reasonStagingHop, 0)
 				}
 			})
@@ -447,7 +464,14 @@ func (c *Controller) restoreOnDestination(vs *vmState, src, dst *hostState, stag
 // dst; the source slot frees; backup registration follows the new market.
 func (c *Controller) completeMove(vs *vmState, src, dst *hostState) {
 	vm := vs.vm
-	delete(src.vms, vm.ID)
+	// A terminated source pinned by a prior dst-died recovery chain (below)
+	// is released here: the chain that pinned it always funnels into exactly
+	// one completeMove with that host as src.
+	if vs.pinnedSrc == src {
+		vs.pinnedSrc = nil
+		src.pinned--
+	}
+	c.hostRemoveVM(src, vs)
 	if dst.reserved > 0 {
 		dst.reserved--
 	}
@@ -464,6 +488,11 @@ func (c *Controller) completeMove(vs *vmState, src, dst *hostState) {
 			c.record(vm.ID, EventStateLost, "destination %s died mid-migration", dst.inst.ID)
 		}
 		c.maybeRetireHost(src)
+		// The recovery chain below re-plumbs *from* the dead destination, so
+		// its slab slot must survive until that chain's own completeMove.
+		// Pin it; the unpin at the top of completeMove releases it.
+		dst.pinned++
+		vs.pinnedSrc = dst
 		c.chooseDestinationRetry(vs, false, func(h *hostState, staged bool) {
 			if withBackup {
 				c.replumb(vs, dst, h, staged)
@@ -475,7 +504,7 @@ func (c *Controller) completeMove(vs *vmState, src, dst *hostState) {
 		})
 		return
 	}
-	dst.vms[vm.ID] = vs
+	c.hostAddVM(dst, vs)
 	vs.host = dst
 	vm.Host = dst.inst.ID
 	vs.phase = phaseRunning

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/cloud"
-	"repro/internal/nestedvm"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 )
@@ -18,6 +15,8 @@ func (c *Controller) startMonitor() {
 	c.lastAboveOD = map[spotmarket.MarketKey]simkit.Time{}
 	c.prevPrice = map[spotmarket.MarketKey]cloud.USD{}
 	c.prevPriceSpare = map[spotmarket.MarketKey]cloud.USD{}
+	c.tickPrices = map[spotmarket.MarketKey]marketSample{}
+	c.calmCache = map[string]bool{}
 	var tick func()
 	tick = func() {
 		c.monitorEvent = simkit.Event{}
@@ -60,9 +59,13 @@ func (c *Controller) snapshotPrices() map[spotmarket.MarketKey]cloud.USD {
 
 // observePrices samples every observable market's spot price. Markets with
 // price at or above the on-demand price have their lastAboveOD stamped for
-// the return hold-down.
+// the return hold-down. The samples also fill the tick's market snapshot,
+// so the sweeps that follow read each market's price from the snapshot
+// instead of re-walking the provider's trace cursors per pool or per VM.
 func (c *Controller) observePrices() {
 	now := c.sched.Now()
+	clear(c.tickPrices)
+	clear(c.calmCache)
 	for _, typ := range c.prov.Catalog() {
 		if !typ.HVM {
 			continue
@@ -75,6 +78,7 @@ func (c *Controller) observePrices() {
 			key := spotmarket.MarketKey{Type: typ.Name, Zone: zone}
 			c.history.ObservePrice(key, price)
 			c.prevPrice[key] = price
+			c.tickPrices[key] = marketSample{price: price, od: typ.OnDemand, odOK: true}
 			if price >= typ.OnDemand {
 				c.lastAboveOD[key] = now
 			}
@@ -94,23 +98,18 @@ func (c *Controller) proactiveSweep() {
 		if len(pool.hosts) == 0 {
 			continue
 		}
-		price, err := c.prov.SpotPrice(key.Type, key.Zone)
-		if err != nil {
+		s, ok := c.tickPrices[spotmarket.MarketKey{Type: key.Type, Zone: key.Zone}]
+		if !ok || !s.odOK {
 			continue
 		}
-		od, err := c.prov.OnDemandPrice(key.Type)
-		if err != nil {
+		if s.price <= s.od || s.price > pool.bid {
 			continue
 		}
-		if price <= od || price > pool.bid {
-			continue
-		}
-		for _, id := range sortedHostIDs(pool.hosts) {
-			h := pool.hosts[id]
+		for _, h := range pool.hosts {
 			if h.warned {
 				continue
 			}
-			for _, vs := range hostVMsSorted(h) {
+			for _, vs := range h.vms {
 				if vs.phase == phaseRunning {
 					c.migrateVM(vs, reasonProactive, 0)
 				}
@@ -136,27 +135,22 @@ func (c *Controller) predictiveSweep(prev map[spotmarket.MarketKey]cloud.USD) {
 			continue
 		}
 		mkey := spotmarket.MarketKey{Type: key.Type, Zone: key.Zone}
-		price, err := c.prov.SpotPrice(key.Type, key.Zone)
-		if err != nil {
-			continue
-		}
-		od, err := c.prov.OnDemandPrice(key.Type)
-		if err != nil {
+		s, ok := c.tickPrices[mkey]
+		if !ok || !s.odOK {
 			continue
 		}
 		last, seen := prev[mkey]
-		if !seen || price <= last {
+		if !seen || s.price <= last {
 			continue // not rising
 		}
-		if float64(price) < threshold*float64(od) {
+		if float64(s.price) < threshold*float64(s.od) {
 			continue // not near the bid yet
 		}
-		for _, id := range sortedHostIDs(pool.hosts) {
-			h := pool.hosts[id]
+		for _, h := range pool.hosts {
 			if h.warned {
 				continue // too late: the real warning already fired
 			}
-			for _, vs := range hostVMsSorted(h) {
+			for _, vs := range h.vms {
 				if vs.phase == phaseRunning {
 					c.met.predictive.Inc()
 					c.migrateVM(vs, reasonProactive, 0)
@@ -169,22 +163,20 @@ func (c *Controller) predictiveSweep(prev map[spotmarket.MarketKey]cloud.USD) {
 // returnSweep migrates VMs hosted on on-demand servers back to spot pools
 // once prices have stayed below on-demand for the hold-down period.
 func (c *Controller) returnSweep() {
-	now := c.sched.Now()
 	for _, key := range c.sortedPoolKeys() {
 		if key.Market != cloud.MarketOnDemand {
 			continue
 		}
 		pool := c.pools[key]
-		for _, id := range sortedHostIDs(pool.hosts) {
-			h := pool.hosts[id]
+		for _, h := range pool.hosts {
 			if h.role != roleHost {
 				continue
 			}
-			for _, vs := range hostVMsSorted(h) {
+			for _, vs := range h.vms {
 				if vs.phase != phaseRunning {
 					continue
 				}
-				if !c.spotCalmFor(vs, now) {
+				if !c.spotCalmFor(vs) {
 					continue
 				}
 				c.tryReturn(vs)
@@ -196,20 +188,28 @@ func (c *Controller) returnSweep() {
 // spotCalmFor reports whether the placement policy's candidate markets have
 // been calm (below on-demand) long enough to return this VM to spot. It
 // checks the markets the policy could choose; a single calm candidate is
-// enough since the return-time Choose call may pick it.
-func (c *Controller) spotCalmFor(vs *vmState, now simkit.Time) bool {
+// enough since the return-time Choose call may pick it. The answer depends
+// only on the VM's requested type, so it is memoized per type for the tick —
+// the return sweep asks once per requested type instead of once per VM.
+func (c *Controller) spotCalmFor(vs *vmState) bool {
+	if calm, ok := c.calmCache[vs.vm.Type.Name]; ok {
+		return calm
+	}
 	// A market qualifies when observed, currently below OD, last above OD
 	// more than ReturnHoldDown ago — and able to host the requested type.
+	calm := false
 	for _, key := range c.observedMarkets() {
 		typ, ok := c.prov.TypeByName(key.Type)
 		if !ok || typ.Units(vs.vm.Type) <= 0 {
 			continue
 		}
 		if c.marketCalm(key) {
-			return true
+			calm = true
+			break
 		}
 	}
-	return false
+	c.calmCache[vs.vm.Type.Name] = calm
+	return calm
 }
 
 // marketCalm reports whether a spot market's price is below the on-demand
@@ -218,16 +218,12 @@ func (c *Controller) spotCalmFor(vs *vmState, now simkit.Time) bool {
 // counts as hot — otherwise the return sweep would undo every predictive
 // evacuation while the price plateaus just below on-demand.
 func (c *Controller) marketCalm(key spotmarket.MarketKey) bool {
-	typ, ok := c.prov.TypeByName(key.Type)
-	if !ok {
-		return false
-	}
-	price, err := c.prov.SpotPrice(key.Type, key.Zone)
-	if err != nil || price >= typ.OnDemand {
+	s, ok := c.tickPrices[key]
+	if !ok || !s.odOK || s.price >= s.od {
 		return false
 	}
 	if c.cfg.Predictive.Enabled &&
-		float64(price) >= c.cfg.Predictive.threshold()*float64(typ.OnDemand) {
+		float64(s.price) >= c.cfg.Predictive.threshold()*float64(s.od) {
 		return false
 	}
 	if last, seen := c.lastAboveOD[key]; seen && c.sched.Now()-last < c.cfg.ReturnHoldDown {
@@ -241,22 +237,13 @@ func (c *Controller) observedMarkets() []spotmarket.MarketKey {
 	return c.history.sortedMarkets()
 }
 
+// sortedPoolKeys returns a snapshot of the pool keys in sorted order. The
+// sorted cache is maintained incrementally by poolFor; the copy matters
+// because sweeps can create pools mid-iteration (tryReturn → acquireHost →
+// poolFor), which would shift the cache's backing array under the caller.
 func (c *Controller) sortedPoolKeys() []PoolKey {
-	keys := make([]PoolKey, 0, len(c.pools))
-	for k := range c.pools {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Type != b.Type {
-			return a.Type < b.Type
-		}
-		if a.Zone != b.Zone {
-			return a.Zone < b.Zone
-		}
-		return a.Market < b.Market
-	})
-	return keys
+	c.poolKeyScratch = append(c.poolKeyScratch[:0], c.poolKeys...)
+	return c.poolKeyScratch
 }
 
 // ---------------------------------------------------------------------------
@@ -283,13 +270,12 @@ func (c *Controller) requestSpare() {
 			c.sched.After(c.cfg.MonitorInterval, "spare-retry", func() { c.requestSpare() })
 			return
 		}
-		h := &hostState{
-			inst: inst,
-			role: roleHotSpare,
-			vms:  map[nestedvm.ID]*vmState{},
-		}
-		c.hosts[inst.ID] = h
-		c.rentals = append(c.rentals, rental{id: inst.ID, kind: rentalSpare})
+		h := c.newHostState()
+		h.inst = inst
+		h.role = roleHotSpare
+		c.hostIndex[inst.ID] = h.slot
+		c.rentals = append(c.rentals, rental{inst: inst, kind: rentalSpare})
+		c.maybeScrubRentals()
 		c.spares = append(c.spares, h)
 	})
 }
@@ -307,7 +293,8 @@ func (c *Controller) takeSpare(slotType cloud.InstanceType) *hostState {
 		h.slotType = slotType
 		h.capacity = capacity
 		h.key = PoolKey{Type: h.inst.Type.Name, Zone: h.inst.Zone, Market: cloud.MarketOnDemand}
-		c.poolFor(h.key).hosts[h.inst.ID] = h
+		insertHostSorted(&c.poolFor(h.key).hosts, h)
+		c.hostFreed(h)
 		c.requestSpare()
 		return h
 	}

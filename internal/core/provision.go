@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/backup"
 	"repro/internal/cloud"
@@ -50,8 +51,12 @@ func (c *Controller) RequestServerWithOptions(opts ServerOptions) (nestedvm.ID, 
 	if err != nil {
 		return "", err
 	}
-	vs := &vmState{vm: vm, phase: phaseProvisioning, workload: c.cfg.Workload, stateless: opts.Stateless}
-	c.vms[id] = vs
+	vs := c.newVMState()
+	vs.vm = vm
+	vs.phase = phaseProvisioning
+	vs.workload = c.cfg.Workload
+	vs.stateless = opts.Stateless
+	c.vmIndex[id] = vs.slot
 	c.met.vmsCreated.Inc()
 	c.record(id, EventRequested, "%s requested a %s (stateless=%v)", opts.Customer, opts.Type, opts.Stateless)
 	c.placeNew(vs, 0)
@@ -63,6 +68,7 @@ func (c *Controller) RequestServerWithOptions(opts ServerOptions) (nestedvm.ID, 
 // falls back to a direct on-demand host of the requested type.
 func (c *Controller) placeNew(vs *vmState, attempts int) {
 	if vs.phase == phaseReleased {
+		c.releaseDeferredSlot(vs)
 		return
 	}
 	if attempts >= 3 {
@@ -113,6 +119,15 @@ type pendingAcq struct {
 	slotType cloud.InstanceType
 	capacity int
 	waiters  []func(*hostState, error)
+	// done marks a finished acquisition awaiting lazy removal from the
+	// controller's joinable index.
+	done bool
+}
+
+// acqKey indexes joinable acquisitions by pool and slice size.
+type acqKey struct {
+	key      PoolKey
+	slotType string
 }
 
 // acquireHost finds or creates a host with a free slot of slotType in the
@@ -137,37 +152,59 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 		cb(h, nil)
 		return
 	}
-	// Join an in-flight acquisition with spare capacity.
-	for _, acq := range c.pendingAcqs {
-		if acq.key == key && acq.slotType.Name == slotType.Name && len(acq.waiters) < acq.capacity {
-			acq.waiters = append(acq.waiters, cb)
+	// Join the oldest in-flight acquisition with spare capacity, pruning
+	// finished or filled entries from the index as we pass them.
+	ik := acqKey{key: key, slotType: slotType.Name}
+	if list, ok := c.acqIndex[ik]; ok {
+		kept := list[:0]
+		joined := false
+		for _, acq := range list {
+			if acq.done || len(acq.waiters) >= acq.capacity {
+				continue
+			}
+			if !joined {
+				acq.waiters = append(acq.waiters, cb)
+				joined = true
+			}
+			if len(acq.waiters) < acq.capacity {
+				kept = append(kept, acq)
+			}
+		}
+		for i := len(kept); i < len(list); i++ {
+			list[i] = nil
+		}
+		if len(kept) == 0 {
+			delete(c.acqIndex, ik)
+		} else {
+			c.acqIndex[ik] = kept
+		}
+		if joined {
 			return
 		}
 	}
 	// Start a new acquisition.
 	acq := &pendingAcq{key: key, slotType: slotType, capacity: capacity}
 	acq.waiters = append(acq.waiters, cb)
-	c.pendingAcqs = append(c.pendingAcqs, acq)
+	c.acqIndex[ik] = append(c.acqIndex[ik], acq)
 
 	finish := func(inst *cloud.Instance, err error) {
-		c.removeAcq(acq)
+		acq.done = true
 		if err != nil {
 			for _, w := range acq.waiters {
 				w(nil, err)
 			}
 			return
 		}
-		h := &hostState{
-			inst:     inst,
-			key:      key,
-			role:     roleHost,
-			slotType: slotType,
-			capacity: acq.capacity,
-			vms:      map[nestedvm.ID]*vmState{},
-		}
-		c.hosts[inst.ID] = h
-		pool.hosts[inst.ID] = h
-		c.rentals = append(c.rentals, rental{id: inst.ID, kind: rentalHost})
+		h := c.newHostState()
+		h.inst = inst
+		h.key = key
+		h.role = roleHost
+		h.slotType = slotType
+		h.capacity = acq.capacity
+		c.hostIndex[inst.ID] = h.slot
+		insertHostSorted(&pool.hosts, h)
+		c.rentals = append(c.rentals, rental{inst: inst, kind: rentalHost})
+		c.maybeScrubRentals()
 		c.met.hostAcquired(key)
 		c.met.syncPool(pool)
 		c.traceEvent("host", string(inst.ID), "acquired", "pool=%s capacity=%d", key, acq.capacity)
@@ -178,6 +215,9 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 			h.reserved++
 			w(h, nil)
 		}
+		// Unreserved slots go straight into the free-candidate set so the
+		// next placement finds them without a pool scan.
+		c.hostFreed(h)
 	}
 
 	switch key.Market {
@@ -199,55 +239,57 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 	}
 }
 
-func (c *Controller) removeAcq(acq *pendingAcq) {
-	for i, a := range c.pendingAcqs {
-		if a == acq {
-			c.pendingAcqs = append(c.pendingAcqs[:i], c.pendingAcqs[i+1:]...)
-			return
-		}
-	}
-}
-
 // freeHost returns a running, unwarned host with a free slot of the given
 // slice size, preferring fuller hosts (best-fit packing), with instance ID
-// as a deterministic tie-break.
+// as a deterministic tie-break. It scans the pool's free-candidate set —
+// an id-sorted superset of the hosts with free slots — pruning entries
+// that have since filled, been warned or died. Scanning in id order with a
+// strict less keeps the historical full-pool scan's exact choice.
 func (c *Controller) freeHost(pool *poolState, slotType cloud.InstanceType) *hostState {
 	var best *hostState
-	for _, id := range sortedHostIDs(pool.hosts) {
-		h := pool.hosts[id]
-		if h.warned || h.slotType.Name != slotType.Name || h.free() <= 0 {
+	cands := pool.freeCands
+	kept := cands[:0]
+	for _, h := range cands {
+		if h.warned || h.free() <= 0 || h.inst.State != cloud.StateRunning {
+			h.inFreeSet = false
 			continue
 		}
-		if h.inst.State != cloud.StateRunning {
+		kept = append(kept, h)
+		if h.slotType.Name != slotType.Name {
 			continue
 		}
 		if best == nil || h.free() < best.free() {
 			best = h
 		}
 	}
+	for i := len(kept); i < len(cands); i++ {
+		cands[i] = nil
+	}
+	pool.freeCands = kept
 	return best
-}
-
-func sortedHostIDs(hosts map[cloud.InstanceID]*hostState) []cloud.InstanceID {
-	ids := make([]cloud.InstanceID, 0, len(hosts))
-	for id := range hosts {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	return ids
 }
 
 func (c *Controller) poolFor(key PoolKey) *poolState {
 	pool := c.pools[key]
 	if pool == nil {
-		pool = &poolState{key: key, hosts: map[cloud.InstanceID]*hostState{}}
+		pool = &poolState{key: key}
 		c.pools[key] = pool
+		i := sort.Search(len(c.poolKeys), func(i int) bool { return !poolKeyLess(c.poolKeys[i], key) })
+		c.poolKeys = append(c.poolKeys, PoolKey{})
+		copy(c.poolKeys[i+1:], c.poolKeys[i:])
+		c.poolKeys[i] = key
 	}
 	return pool
+}
+
+func poolKeyLess(a, b PoolKey) bool {
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	if a.Zone != b.Zone {
+		return a.Zone < b.Zone
+	}
+	return a.Market < b.Market
 }
 
 // installVM finishes provisioning a new VM on a reserved host slot:
@@ -257,12 +299,15 @@ func (c *Controller) poolFor(key PoolKey) *poolState {
 func (c *Controller) installVM(vs *vmState, h *hostState) {
 	if vs.phase == phaseReleased {
 		h.reserved--
+		c.hostFreed(h)
+		c.releaseDeferredSlot(vs)
 		return
 	}
 	vm := vs.vm
 	addr, err := c.prov.AllocateIP()
 	if err != nil {
 		h.reserved--
+		c.hostFreed(h)
 		c.sched.After(c.cfg.MonitorInterval, "re-place "+string(vm.ID), func() { c.placeNew(vs, 0) })
 		return
 	}
@@ -296,12 +341,14 @@ func (c *Controller) installVM(vs *vmState, h *hostState) {
 // abortInstall unwinds a failed installation and retries placement.
 func (c *Controller) abortInstall(vs *vmState, h *hostState, err error) {
 	h.reserved--
+	c.hostFreed(h)
 	if vs.vm.IP.IsValid() {
 		// Best-effort: the address may or may not have been assigned.
 		_ = c.prov.ReleaseIP(vs.vm.IP)
 		vs.vm.IP = cloud.Addr{}
 	}
 	if vs.phase == phaseReleased {
+		c.releaseDeferredSlot(vs)
 		return
 	}
 	if !errors.Is(err, cloud.ErrBadState) && !errors.Is(err, cloud.ErrCapacity) {
@@ -315,10 +362,12 @@ func (c *Controller) abortInstall(vs *vmState, h *hostState, err error) {
 func (c *Controller) startService(vs *vmState, h *hostState) {
 	h.reserved--
 	if vs.phase == phaseReleased {
+		c.hostFreed(h)
+		c.releaseDeferredSlot(vs)
 		return
 	}
 	vm := vs.vm
-	h.vms[vm.ID] = vs
+	c.hostAddVM(h, vs)
 	vs.host = h
 	vm.Host = h.inst.ID
 	vs.phase = phaseRunning
@@ -383,7 +432,9 @@ func (c *Controller) unregisterBackup(vs *vmState) {
 				if h.inst.State != cloud.StateTerminated {
 					_ = c.prov.Terminate(h.inst.ID, nil)
 				}
-				delete(c.hosts, h.inst.ID)
+				delete(c.hostIndex, h.inst.ID)
+				h.inst = nil
+				c.hostSlab.Free(h.slot)
 			}
 		}
 	}
@@ -398,17 +449,20 @@ func (c *Controller) onBackupProvisioned(srv *backup.Server) {
 			c.met.destFails.Inc()
 			return
 		}
-		h := &hostState{inst: inst, role: roleBackup, vms: map[nestedvm.ID]*vmState{}}
-		c.hosts[inst.ID] = h
+		h := c.newHostState()
+		h.inst = inst
+		h.role = roleBackup
+		c.hostIndex[inst.ID] = h.slot
 		c.backupHosts[srv.ID()] = h
-		c.rentals = append(c.rentals, rental{id: inst.ID, kind: rentalBackup})
+		c.rentals = append(c.rentals, rental{inst: inst, kind: rentalBackup})
+		c.maybeScrubRentals()
 	})
 }
 
 // ReleaseServer relinquishes a nested VM: the customer-initiated teardown.
 func (c *Controller) ReleaseServer(id nestedvm.ID) error {
-	vs, ok := c.vms[id]
-	if !ok {
+	vs := c.lookupVM(id)
+	if vs == nil {
 		return fmt.Errorf("core: unknown VM %s", id)
 	}
 	switch vs.phase {
@@ -427,6 +481,7 @@ func (c *Controller) ReleaseServer(id nestedvm.ID) error {
 func (c *Controller) teardownVM(vs *vmState) {
 	vm := vs.vm
 	wasRunning := vs.phase == phaseRunning
+	fromProvisioning := vs.phase == phaseProvisioning
 	vs.phase = phaseReleased
 	vs.serviceEnd = c.sched.Now()
 	c.met.vmsReleased.Inc()
@@ -437,17 +492,21 @@ func (c *Controller) teardownVM(vs *vmState) {
 	c.unregisterBackup(vs)
 	c.endLazyWindow(vs)
 	h := vs.host
+	var hinst *cloud.Instance
 	if h != nil {
-		delete(h.vms, vm.ID)
+		// Retiring may forget the host and recycle its slot; the instance
+		// itself outlives it for the address plumbing below.
+		hinst = h.inst
+		c.hostRemoveVM(h, vs)
 		vs.host = nil
 		c.syncPoolOf(h)
 		// Relinquish empty hosts to stop paying for them.
 		c.maybeRetireHost(h)
 	}
 	if vm.IP.IsValid() {
-		if h != nil && h.inst.State != cloud.StateTerminated && h.inst.HasIP(vm.IP) {
+		if hinst != nil && hinst.State != cloud.StateTerminated && hinst.HasIP(vm.IP) {
 			addr := vm.IP
-			_ = c.prov.UnassignIP(h.inst.ID, addr, func(error) {
+			_ = c.prov.UnassignIP(hinst.ID, addr, func(error) {
 				_ = c.prov.ReleaseIP(addr)
 			})
 		} else {
@@ -461,11 +520,22 @@ func (c *Controller) teardownVM(vs *vmState) {
 			_ = c.prov.DeleteVolume(vol)
 		})
 	}
+	if c.cfg.RecycleReleased {
+		if fromProvisioning {
+			// The provisioning chain still holds a continuation with this
+			// state; it frees the slot at its released-exit point.
+			vs.recycleDeferred = true
+		} else {
+			c.freeVMSlot(vs)
+		}
+	}
 }
 
-// maybeRetireHost terminates a host that no longer serves any VM.
+// maybeRetireHost terminates a host that no longer serves any VM. Pinned
+// hosts — terminated migration destinations an in-flight recovery chain
+// still reads — stay tracked until the chain unpins them.
 func (c *Controller) maybeRetireHost(h *hostState) {
-	if h.role != roleHost || len(h.vms) > 0 || h.reserved > 0 {
+	if h.role != roleHost || len(h.vms) > 0 || h.reserved > 0 || h.pinned > 0 {
 		return
 	}
 	if h.inst.State == cloud.StateTerminated {
@@ -478,12 +548,25 @@ func (c *Controller) maybeRetireHost(h *hostState) {
 }
 
 func (c *Controller) forgetHost(h *hostState) {
-	delete(c.hosts, h.inst.ID)
+	delete(c.hostIndex, h.inst.ID)
 	if pool := c.pools[h.key]; pool != nil {
-		delete(pool.hosts, h.inst.ID)
+		removeHostSorted(&pool.hosts, h)
+		if h.inFreeSet {
+			removeHostSorted(&pool.freeCands, h)
+			h.inFreeSet = false
+		}
+		pool.vmCount -= len(h.vms)
 		c.met.syncPool(pool)
 	}
 	c.traceEvent("host", string(h.inst.ID), "retired", "pool=%s", h.key)
+	// Recycle the slot: nothing references this state anymore (no resident
+	// VMs, no reservations, no pins).
+	for i := range h.vms {
+		h.vms[i] = nil
+	}
+	h.vms = h.vms[:0]
+	h.inst = nil
+	c.hostSlab.Free(h.slot)
 }
 
 // Shutdown drains the derivative cloud: every nested VM is released and
@@ -494,8 +577,8 @@ func (c *Controller) Shutdown() {
 	c.shutdown = true
 	c.stopMonitor()
 	for _, id := range c.vmIDsSorted() {
-		vs := c.vms[id]
-		if vs.phase == phaseReleased {
+		vs := c.lookupVM(id)
+		if vs == nil || vs.phase == phaseReleased {
 			continue
 		}
 		if vs.phase == phaseMigrating {

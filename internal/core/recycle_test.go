@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nestedvm"
+	"repro/internal/simkit"
+)
+
+// TestRecycleReleasedSlotChurn churns more VMs through the controller than
+// one slab chunk holds (256 slots) in release/re-request waves. With
+// RecycleReleased the free list must absorb every wave: the slab may never
+// grow a second chunk, per-VM introspection must forget recycled VMs, and
+// the retired accumulators must keep the aggregate accounting whole.
+func TestRecycleReleasedSlotChurn(t *testing.T) {
+	r := newRig(t, nil, func(c *Config) {
+		c.RecycleReleased = true
+		c.ExpectedVMs = 8
+	})
+	const rounds, perRound = 50, 8
+	now := simkit.Time(0)
+	var recycled []nestedvm.ID
+	for round := 0; round < rounds; round++ {
+		ids := make([]nestedvm.ID, perRound)
+		for i := range ids {
+			ids[i] = r.request(t, "alice")
+		}
+		now += simkit.Hour
+		r.run(t, now)
+		for _, id := range ids {
+			if err := r.ctrl.ReleaseServer(id); err != nil {
+				t.Fatalf("round %d: release %s: %v", round, id, err)
+			}
+		}
+		now += simkit.Hour
+		r.run(t, now)
+		if live := r.ctrl.vmSlab.Len(); live != 0 {
+			t.Fatalf("round %d: %d VM slots still live after releasing the wave", round, live)
+		}
+		recycled = append(recycled, ids...)
+	}
+
+	// 400 VMs passed through; without free-list reuse the slab would span
+	// two chunks.
+	if c := r.ctrl.vmSlab.Cap(); c > 256 {
+		t.Errorf("vm slab grew to %d slots for %d churned VMs; free list not reused", c, rounds*perRound)
+	}
+	// Recycled VMs are forgotten by per-VM introspection...
+	for _, id := range []nestedvm.ID{recycled[0], recycled[len(recycled)/2], recycled[len(recycled)-1]} {
+		if _, err := r.ctrl.DescribeVM(id); err == nil {
+			t.Errorf("DescribeVM(%s) succeeded for a recycled VM", id)
+		}
+		if evs := r.ctrl.Events(id); len(evs) != 0 {
+			t.Errorf("Events(%s) kept %d entries past recycling", id, len(evs))
+		}
+	}
+	if n := len(r.ctrl.ListVMs()); n != 0 {
+		t.Errorf("ListVMs returned %d entries, want 0", n)
+	}
+	// ...but the aggregates remember them.
+	rep := r.ctrl.Report()
+	if rep.Stats.VMsCreated != rounds*perRound {
+		t.Errorf("VMsCreated = %d, want %d", rep.Stats.VMsCreated, rounds*perRound)
+	}
+	if want := float64(rounds * perRound); rep.VMHours < want-1 {
+		t.Errorf("VMHours = %v, want about %v (one hour per churned VM)", rep.VMHours, want)
+	}
+	custs := r.ctrl.Customers()
+	if len(custs) != 1 || custs[0].Customer != "alice" || custs[0].VMs != rounds*perRound {
+		t.Errorf("Customers() = %+v, want alice with %d VMs", custs, rounds*perRound)
+	}
+}
+
+// TestRecycleReleasedStaleHandleInert pins the stale-reader contract:
+// freeing a VM slot leaves a phaseReleased tombstone behind for same-
+// instant readers holding the old pointer, and the slot's handle goes
+// inert rather than aliasing the next occupant.
+func TestRecycleReleasedStaleHandleInert(t *testing.T) {
+	r := newRig(t, nil, func(c *Config) { c.RecycleReleased = true })
+	id := r.request(t, "alice")
+	r.run(t, simkit.Hour)
+
+	vs := r.ctrl.lookupVM(id)
+	if vs == nil {
+		t.Fatalf("%s not resolvable while running", id)
+	}
+	h := vs.slot
+	if err := r.ctrl.ReleaseServer(id); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 2*simkit.Hour)
+
+	if got := r.ctrl.vmSlab.Get(h); got != nil {
+		t.Errorf("stale handle %v still resolves after recycling", h)
+	}
+	if r.ctrl.lookupVM(id) != nil {
+		t.Errorf("%s still indexed after recycling", id)
+	}
+	// The tombstone: old pointers observe a terminal phase, not junk.
+	if vs.phase != phaseReleased {
+		t.Errorf("freed slot phase = %v, want phaseReleased", vs.phase)
+	}
+	if vs.vm != nil || vs.host != nil {
+		t.Errorf("freed slot kept references: vm=%v host=%v", vs.vm, vs.host)
+	}
+
+	// The slot must be reused (LIFO free list) by the next request, under
+	// a fresh generation.
+	id2 := r.request(t, "bob")
+	r.run(t, 3*simkit.Hour)
+	vs2 := r.ctrl.lookupVM(id2)
+	if vs2 == nil {
+		t.Fatalf("%s not resolvable", id2)
+	}
+	if vs2 != vs {
+		t.Errorf("new VM did not reuse the freed slot")
+	}
+	if vs2.slot == h {
+		t.Errorf("reused slot reissued the old generation: %v", h)
+	}
+	if got := r.ctrl.vmSlab.Get(h); got != nil {
+		t.Errorf("old handle %v resolves to the slot's new occupant", h)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/cloud"
@@ -60,6 +61,56 @@ type Report struct {
 // ("generally requires a timeout of greater than one minute").
 const TCPTimeout = 60 * simkit.Second
 
+// durAcc accumulates fleet-wide duration sums. int64 nanoseconds cap out
+// at ~292 VM-years, which a fleet blows through easily (100k VMs over six
+// months is ~50,000 VM-years), so the sum is carried as chunks of 2^62 ns
+// plus an int64 remainder. While hi is zero the remainder is the exact
+// int64 sum and every derived quantity below reproduces the narrow
+// arithmetic bit for bit; past that, ratios and hour totals are computed
+// in float64 (~16 significant digits — far inside reporting precision).
+type durAcc struct {
+	hi int64 // carried 2^62 ns chunks
+	lo int64 // remainder, 0 <= lo < 2^62
+}
+
+const durChunk = int64(1) << 62
+
+func (d *durAcc) add(t simkit.Time) {
+	d.lo += int64(t)
+	for d.lo >= durChunk {
+		d.lo -= durChunk
+		d.hi++
+	}
+}
+
+func (d *durAcc) addAcc(o durAcc) {
+	d.hi += o.hi
+	d.add(simkit.Time(o.lo))
+}
+
+func (d durAcc) positive() bool { return d.hi > 0 || d.lo > 0 }
+
+// ns is the total in float64 nanoseconds; with hi == 0 it equals
+// float64(exact int64 sum), so ratios of narrow sums are unchanged.
+func (d durAcc) ns() float64 { return float64(d.hi)*float64(durChunk) + float64(d.lo) }
+
+// hours matches simkit.Time.Hours exactly while the sum fits in int64.
+func (d durAcc) hours() float64 {
+	if d.hi == 0 {
+		return simkit.Time(d.lo).Hours()
+	}
+	return float64(d.hi)*(float64(durChunk)/float64(simkit.Hour)) + simkit.Time(d.lo).Hours()
+}
+
+// clamp narrows to simkit.Time for Report's raw-duration fields,
+// saturating rather than wrapping if the sum outgrew int64.
+func (d durAcc) clamp() simkit.Time {
+	if d.hi > 0 {
+		return simkit.Time(math.MaxInt64)
+	}
+	return simkit.Time(d.lo)
+}
+
 // CustomerReport is the per-tenant view a derivative cloud bills from:
 // SpotCheck resells shared infrastructure, so each customer's cost share
 // is its fraction of the fleet's VM-hours.
@@ -81,14 +132,25 @@ func (c *Controller) Customers() []CustomerReport {
 	now := c.sched.Now()
 	type acc struct {
 		vms      int
-		service  simkit.Time
-		stateful simkit.Time
-		down     simkit.Time
+		service  durAcc
+		stateful durAcc
+		down     durAcc
 	}
-	byName := map[string]*acc{}
-	var totalService, totalStateful simkit.Time
+	byName := make(map[string]*acc, len(c.retired.byCustomer))
+	var totalService, totalStateful durAcc
+	// Recycled VMs (fleet mode) folded their whole contribution into the
+	// retired accumulators when their slots were freed; every sum is an
+	// integer duration, so the seed is exact regardless of fold order.
+	for name, rc := range c.retired.byCustomer {
+		byName[name] = &acc{vms: rc.vms, service: rc.service, stateful: rc.stateful, down: rc.down}
+		totalService.addAcc(rc.service)
+		totalStateful.addAcc(rc.stateful)
+	}
 	for _, id := range c.vmIDsSorted() {
-		vs := c.vms[id]
+		vs := c.lookupVM(id)
+		if vs == nil {
+			continue
+		}
 		vm := vs.vm
 		if vm.Created == 0 && vs.phase == phaseProvisioning {
 			continue
@@ -107,14 +169,14 @@ func (c *Controller) Customers() []CustomerReport {
 		}
 		life := end - vm.Created
 		a.vms++
-		a.service += life
+		a.service.add(life)
 		if !vs.stateless {
-			a.stateful += life
-			totalStateful += life
+			a.stateful.add(life)
+			totalStateful.add(life)
 		}
 		d, _ := vm.Ledger.Snapshot(end)
-		a.down += d
-		totalService += life
+		a.down.add(d)
+		totalService.add(life)
 	}
 	rep := c.Report()
 	names := make([]string, 0, len(byName))
@@ -128,18 +190,18 @@ func (c *Controller) Customers() []CustomerReport {
 		cr := CustomerReport{
 			Customer:     n,
 			VMs:          a.vms,
-			VMHours:      a.service.Hours(),
+			VMHours:      a.service.hours(),
 			Availability: 1,
 		}
-		if a.service > 0 {
-			cr.Availability = 1 - float64(a.down)/float64(a.service)
+		if a.service.positive() {
+			cr.Availability = 1 - a.down.ns()/a.service.ns()
 		}
 		var share float64
-		if totalService > 0 {
-			share += float64(rep.HostCost+rep.SpareCost) * float64(a.service) / float64(totalService)
+		if totalService.positive() {
+			share += float64(rep.HostCost+rep.SpareCost) * a.service.ns() / totalService.ns()
 		}
-		if totalStateful > 0 {
-			share += float64(rep.BackupCost) * float64(a.stateful) / float64(totalStateful)
+		if totalStateful.positive() {
+			share += float64(rep.BackupCost) * a.stateful.ns() / totalStateful.ns()
 		}
 		cr.CostShare = cloud.USD(share)
 		out = append(out, cr)
@@ -152,10 +214,17 @@ func (c *Controller) Report() Report {
 	now := c.sched.Now()
 	r := Report{At: now, Stats: c.Stats()}
 
-	var down, degraded simkit.Time
-	var serviceTotal simkit.Time
+	// Seed from the retired accumulators (recycled VMs, fleet mode); the
+	// live walk below adds only VMs whose slots are still tracked.
+	down, degraded := c.retired.down, c.retired.degraded
+	serviceTotal := c.retired.service
+	r.MaxDownSpell = c.retired.maxDownSpell
+	r.TCPBreaks = c.retired.tcpBreaks
 	for _, id := range c.vmIDsSorted() {
-		vs := c.vms[id]
+		vs := c.lookupVM(id)
+		if vs == nil {
+			continue
+		}
 		vm := vs.vm
 		if vm.Created == 0 && vs.phase == phaseProvisioning {
 			continue // never entered service
@@ -168,27 +237,41 @@ func (c *Controller) Report() Report {
 			continue
 		}
 		d, g := vm.Ledger.Snapshot(end)
-		down += d
-		degraded += g
-		serviceTotal += end - vm.Created
+		down.add(d)
+		degraded.add(g)
+		serviceTotal.add(end - vm.Created)
 		if spell := vm.Ledger.MaxDownSpell(end); spell > r.MaxDownSpell {
 			r.MaxDownSpell = spell
 		}
 		r.TCPBreaks += vm.Ledger.SpellsExceeding(TCPTimeout, end)
 	}
-	r.TotalDown, r.TotalDegraded = down, degraded
-	r.VMHours = serviceTotal.Hours()
-	if serviceTotal > 0 {
-		r.Availability = 1 - float64(down)/float64(serviceTotal)
-		r.DegradedFraction = float64(degraded) / float64(serviceTotal)
+	r.TotalDown, r.TotalDegraded = down.clamp(), degraded.clamp()
+	r.VMHours = serviceTotal.hours()
+	if serviceTotal.positive() {
+		r.Availability = 1 - down.ns()/serviceTotal.ns()
+		r.DegradedFraction = degraded.ns() / serviceTotal.ns()
 	} else {
 		r.Availability = 1
 	}
 
-	for _, rt := range c.rentals {
-		cost, err := c.prov.AccruedCost(rt.id)
-		if err != nil {
-			continue
+	// Rentals scrubbed out of the ledger (fleet mode) folded their final
+	// costs into rentalFinal; live entries are summed below. A terminated
+	// instance's bill never changes, so it is memoized on first read.
+	r.HostCost = c.rentalFinal[rentalHost]
+	r.BackupCost = c.rentalFinal[rentalBackup]
+	r.SpareCost = c.rentalFinal[rentalSpare]
+	for i := range c.rentals {
+		rt := &c.rentals[i]
+		cost := rt.cost
+		if !rt.final {
+			var err error
+			cost, err = c.prov.AccruedCost(rt.inst.ID)
+			if err != nil {
+				continue
+			}
+			if rt.inst.State == cloud.StateTerminated {
+				rt.cost, rt.final = cost, true
+			}
 		}
 		switch rt.kind {
 		case rentalHost:
@@ -236,8 +319,8 @@ type VMInfo struct {
 
 // DescribeVM returns the current view of one nested VM.
 func (c *Controller) DescribeVM(id nestedvm.ID) (VMInfo, error) {
-	vs, ok := c.vms[id]
-	if !ok {
+	vs := c.lookupVM(id)
+	if vs == nil {
 		return VMInfo{}, fmt.Errorf("core: unknown VM %s", id)
 	}
 	return c.describe(vs), nil
@@ -245,9 +328,11 @@ func (c *Controller) DescribeVM(id nestedvm.ID) (VMInfo, error) {
 
 // ListVMs returns all known VMs in id order.
 func (c *Controller) ListVMs() []VMInfo {
-	out := make([]VMInfo, 0, len(c.vms))
+	out := make([]VMInfo, 0, len(c.vmIndex))
 	for _, id := range c.vmIDsSorted() {
-		out = append(out, c.describe(c.vms[id]))
+		if vs := c.lookupVM(id); vs != nil {
+			out = append(out, c.describe(vs))
+		}
 	}
 	return out
 }
@@ -370,8 +455,8 @@ type DebugLedgerInfo struct {
 
 // DebugLedger returns raw ledger accounting for one VM.
 func (c *Controller) DebugLedger(id nestedvm.ID) DebugLedgerInfo {
-	vs, ok := c.vms[id]
-	if !ok {
+	vs := c.lookupVM(id)
+	if vs == nil {
 		return DebugLedgerInfo{}
 	}
 	end := c.sched.Now()

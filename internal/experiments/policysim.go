@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"net/netip"
+	"runtime"
 
 	"repro/internal/analysis"
 	"repro/internal/cloud"
@@ -67,6 +69,26 @@ type PolicyRunConfig struct {
 	BillingIncrement simkit.Time
 	// Workload selects the application profile (default workload.TPCW()).
 	Workload workload.Profile
+
+	// FleetMode turns on every fleet-scale knob at once: pre-sized slabs
+	// and indexes on both sides (core.Config.ExpectedVMs, cloudsim
+	// ExpectedInstances), recycling of released VM state and terminated
+	// instance ledger slots (RecycleReleased, CompactTerminated),
+	// prefix-integral spot billing, and a /8 VPC so 100k+ nested VMs do
+	// not exhaust the address pool. Aggregate accounting is unchanged —
+	// time-derived report fields exactly, dollar totals to float
+	// re-association (see TestFleetModeReportEquivalence) — but per-VM
+	// introspection forgets recycled VMs, so the golden-figure runs leave
+	// it off.
+	FleetMode bool
+	// Clock, when set, returns wall-clock nanoseconds and turns on the
+	// scale experiment's capacity measurements: RunPolicy times fleet
+	// creation plus the event loop into PolicyRunResult.WallNs and
+	// samples the post-run live heap into LiveHeapBytes. The clock is
+	// injected because this package is deterministic by lint rule; only
+	// non-simulation callers (cmd/spotsim, the root bench harness) may
+	// read time.Now.
+	Clock func() int64
 }
 
 // PolicyRunResult carries one simulation's outcome.
@@ -81,6 +103,14 @@ type PolicyRunResult struct {
 	// revocations, predictive hits, backup fleet size, ...) are read from
 	// here rather than from private counters.
 	Snapshot *obs.Snapshot
+	// WallNs and LiveHeapBytes are the capacity measurements taken when
+	// PolicyRunConfig.Clock is set (zero otherwise): wall-clock
+	// nanoseconds for fleet creation plus the event loop, and the
+	// absolute live-heap size sampled after a forced GC with the
+	// controller and platform still reachable. RunScale turns them into
+	// ns-per-VM-hour and bytes-per-VM.
+	WallNs        int64
+	LiveHeapBytes uint64
 }
 
 // CostPerHour is the Figure 10 metric.
@@ -142,19 +172,15 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 	// One registry shared by the platform and controller, so a single
 	// snapshot carries both spotcheck_* and spotcheck_cloudsim_* families.
 	reg := obs.NewRegistry()
-	plat, err := cloudsim.New(sched, cloudsim.Config{
+	platCfg := cloudsim.Config{
 		Traces:           traces,
 		Seed:             cfg.Seed,
 		WarningWindow:    cfg.WarningWindow,
 		BillingIncrement: cfg.BillingIncrement,
 		Metrics:          reg,
-	})
-	if err != nil {
-		return PolicyRunResult{}, err
 	}
-	ctrl, err := core.New(core.Config{
+	coreCfg := core.Config{
 		Scheduler:       sched,
-		Provider:        plat,
 		Mechanism:       cfg.Mechanism,
 		Placement:       cfg.Policy.New(),
 		Bidding:         cfg.Bidding,
@@ -165,9 +191,31 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		Workload:        cfg.Workload,
 		Seed:            cfg.Seed,
 		Metrics:         reg,
-	})
+	}
+	if cfg.FleetMode {
+		// Peak live instances stay below the nested-VM count (hosts are
+		// sliced, backups multiplexed), so VMs + slack pre-sizes both
+		// ledgers even through revocation churn — compaction recycles
+		// terminated slots before the fleet can outgrow them.
+		platCfg.ExpectedInstances = cfg.VMs + cfg.VMs/4 + 64
+		platCfg.CompactTerminated = true
+		platCfg.PrefixBilling = true
+		platCfg.VPC = netip.MustParsePrefix("10.0.0.0/8")
+		coreCfg.ExpectedVMs = cfg.VMs
+		coreCfg.RecycleReleased = true
+	}
+	plat, err := cloudsim.New(sched, platCfg)
 	if err != nil {
 		return PolicyRunResult{}, err
+	}
+	coreCfg.Provider = plat
+	ctrl, err := core.New(coreCfg)
+	if err != nil {
+		return PolicyRunResult{}, err
+	}
+	var start int64
+	if cfg.Clock != nil {
+		start = cfg.Clock()
 	}
 	for i := 0; i < cfg.VMs; i++ {
 		if _, err := ctrl.RequestServerWithOptions(core.ServerOptions{
@@ -179,14 +227,26 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		}
 	}
 	sched.RunUntil(cfg.Horizon)
-	return PolicyRunResult{
+	res := PolicyRunResult{
 		Policy:    cfg.Policy.Name,
 		Mechanism: cfg.Mechanism,
 		Report:    ctrl.Report(),
 		VMs:       cfg.VMs,
 		Horizon:   cfg.Horizon,
 		Snapshot:  reg.Snapshot(),
-	}, nil
+	}
+	if cfg.Clock != nil {
+		res.WallNs = cfg.Clock() - start
+		// Sample the live heap while the whole simulation graph is still
+		// reachable, so slabs, indexes and ledgers all count.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.LiveHeapBytes = ms.HeapAlloc
+		runtime.KeepAlive(ctrl)
+		runtime.KeepAlive(plat)
+	}
+	return res, nil
 }
 
 // PolicyMatrix runs every named policy against every figure mechanism —

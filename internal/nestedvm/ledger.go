@@ -171,13 +171,27 @@ func (l *Ledger) DownSpells(t simkit.Time) []simkit.Time {
 	return out
 }
 
+// openSpell returns the duration of the currently open down spell as of t,
+// or ok=false when the VM is not down. Shared by the aggregate accessors so
+// they can iterate the completed-spell list in place instead of paying
+// DownSpells' defensive copy once per VM per report.
+func (l *Ledger) openSpell(t simkit.Time) (simkit.Time, bool) {
+	if l.started && l.cond == CondDown && t >= l.spellStart {
+		return t - l.spellStart, true
+	}
+	return 0, false
+}
+
 // MaxDownSpell returns the longest down interval as of t (0 if never down).
 func (l *Ledger) MaxDownSpell(t simkit.Time) simkit.Time {
 	var max simkit.Time
-	for _, d := range l.DownSpells(t) {
+	for _, d := range l.downSpellDurations {
 		if d > max {
 			max = d
 		}
+	}
+	if d, ok := l.openSpell(t); ok && d > max {
+		max = d
 	}
 	return max
 }
@@ -186,10 +200,13 @@ func (l *Ledger) MaxDownSpell(t simkit.Time) simkit.Time {
 // a 60 s TCP timeout: any spell past it would break customers' connections.
 func (l *Ledger) SpellsExceeding(threshold, t simkit.Time) int {
 	n := 0
-	for _, d := range l.DownSpells(t) {
+	for _, d := range l.downSpellDurations {
 		if d > threshold {
 			n++
 		}
+	}
+	if d, ok := l.openSpell(t); ok && d > threshold {
+		n++
 	}
 	return n
 }

@@ -1,0 +1,79 @@
+package spotmarket
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/simkit"
+)
+
+func prefixTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := NewTrace([]Point{
+		{T: 0, Price: 0.05},
+		{T: 2 * simkit.Hour, Price: 0.12},
+		{T: 3 * simkit.Hour, Price: 0.01},
+		{T: 10 * simkit.Hour, Price: 0.50},
+		{T: 11 * simkit.Hour, Price: 0.07},
+	}, 24*simkit.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPrefixIntegralMatchesTrace(t *testing.T) {
+	tr := prefixTestTrace(t)
+	pi := tr.PrefixIntegral()
+	cases := []struct{ a, b simkit.Time }{
+		{0, 24 * simkit.Hour},                     // full horizon
+		{0, 30 * simkit.Minute},                   // inside first segment
+		{90 * simkit.Minute, 150 * simkit.Minute}, // straddles one change
+		{1 * simkit.Hour, 12 * simkit.Hour},       // straddles several
+		{2 * simkit.Hour, 3 * simkit.Hour},        // exactly one segment
+		{10*simkit.Hour + 1, 10*simkit.Hour + 2},  // sub-nanosecond-scale sliver
+		{5 * simkit.Hour, 5 * simkit.Hour},        // empty interval
+		{6 * simkit.Hour, 4 * simkit.Hour},        // inverted interval
+		{-1 * simkit.Hour, 1 * simkit.Hour},       // negative start clamps
+		{23 * simkit.Hour, 24 * simkit.Hour},      // final segment
+		{11 * simkit.Hour, 11*simkit.Hour + 1},    // starts exactly on a change
+	}
+	for _, c := range cases {
+		want := float64(tr.Integrate(c.a, c.b))
+		got := float64(pi.Integrate(c.a, c.b))
+		// The prefix form re-associates the sum; allow last-ulps drift.
+		if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("Integrate(%v, %v): prefix %v, trace %v", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestPrefixIntegralRandomizedAgainstTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	end := 180 * simkit.Day
+	pts := []Point{{T: 0, Price: 0.05}}
+	tt := simkit.Time(0)
+	for {
+		tt += simkit.Time(rng.Int63n(int64(6 * simkit.Hour)))
+		if tt >= end || tt <= pts[len(pts)-1].T {
+			break
+		}
+		pts = append(pts, Point{T: tt, Price: cloud.USD(0.01 + 0.5*rng.Float64())})
+	}
+	tr, err := NewTrace(pts, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := tr.PrefixIntegral()
+	for i := 0; i < 500; i++ {
+		a := simkit.Time(rng.Int63n(int64(end)))
+		b := a + simkit.Time(rng.Int63n(int64(end-a)+1))
+		want := float64(tr.Integrate(a, b))
+		got := float64(pi.Integrate(a, b))
+		if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("Integrate(%v, %v): prefix %v, trace %v", a, b, got, want)
+		}
+	}
+}
