@@ -8,9 +8,13 @@
 package repro_test
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
+	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/migration"
 	"repro/internal/simkit"
@@ -202,6 +206,48 @@ func BenchmarkTable3RevocationStorms(b *testing.B) {
 		pFull = rows[0].Probs[3] // 1-pool P(all N at once)
 	}
 	b.ReportMetric(pFull, "1pool-P(N)/hr")
+}
+
+// BenchmarkChooseCompatibleLargeCatalog measures one cheapest-compatible
+// placement decision over the full generated catalog (18 HVM types × 3
+// zones = 54 spot markets): the catalog scan, feasibility filter and
+// per-slice price comparison that run on every acquisition at scale.
+func BenchmarkChooseCompatibleLargeCatalog(b *testing.B) {
+	cat, err := cloud.GenerateCatalog(cloud.DefaultCatalogSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	traces, err := experiments.CatalogTraces(cat, 2*simkit.Day, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := cloudsim.New(simkit.NewScheduler(), cloudsim.Config{
+		Traces:    traces,
+		Catalog:   cat.Types,
+		Zones:     cat.Zones,
+		Latencies: cloudsim.ZeroOpLatencies(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, ok := cat.TypeByName(cloud.M3Medium)
+	if !ok {
+		b.Fatal("m3.medium missing from generated catalog")
+	}
+	ctx := &core.PlacementContext{
+		Requested: req,
+		Provider:  plat,
+		History:   core.NewHistory(),
+		Rand:      rand.New(rand.NewSource(benchSeed)),
+	}
+	policy := core.NewCheapestCompatiblePolicy(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := policy.Choose(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(traces)), "markets")
 }
 
 // --- Sweep engine benches ---

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations|scale] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N] [-fleet N]
+//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations|catalog|scale] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N] [-fleet N]
 //
 // The simulations in a batch are fully independent, so spotsim fans them
 // out across the experiments sweep engine; -parallel bounds the worker
 // count (0, the default, means GOMAXPROCS; 1 forces sequential execution).
 // The output is identical for a fixed seed regardless of the worker count.
+//
+// The catalog experiment compares the paper's fixed-type acquisition
+// policies against catalog-wide cheapest-compatible acquisition over a
+// generated 54-market catalog (docs/ARCHITECTURE.md, "Generated catalog"),
+// reporting cost, revocations and availability per policy.
 //
 // The scale experiment (docs/SCALING.md) is the one member excluded from
 // -exp all: it climbs synthetic fleets of 1k/10k/100k nested VMs over the
@@ -34,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations, scale")
+	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations, catalog, scale")
 	metrics := flag.Bool("metrics", false, "print the headline run's metrics snapshot")
 	vms := flag.Int("vms", 40, "nested VM fleet size")
 	months := flag.Float64("months", 6, "simulation horizon in months")
@@ -58,6 +63,7 @@ var knownExperiments = map[string]bool{
 	"table3":    true,
 	"headline":  true,
 	"ablations": true,
+	"catalog":   true,
 	"scale":     true,
 }
 
@@ -128,6 +134,15 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics b
 			return err
 		}
 		fmt.Fprint(w, out)
+	}
+	if want("catalog") {
+		fmt.Fprintln(os.Stderr, "spotsim: running catalog comparison (4 policies, 54 generated markets)...")
+		rows, err := experiments.CatalogComparison(vms, horizon, seed, parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.CatalogComparisonTable(rows, vms).String())
+		fmt.Fprintln(w)
 	}
 	if want("scale") {
 		sizes := experiments.DefaultScaleLadder()

@@ -93,6 +93,25 @@ func TestRunScale(t *testing.T) {
 	}
 }
 
+// TestRunCatalog exercises `-exp catalog`: the generated-catalog comparison
+// must render all four policy arms, including the catalog-wide
+// cheapest-compatible acquisition.
+func TestRunCatalog(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "catalog", 4, 0.2, 42, false, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Catalog comparison") {
+		t.Errorf("catalog table missing from output:\n%s", out)
+	}
+	for _, policy := range []string{"1P-M", "4P-ED", "greedy-4pool", "cheapest-compatible"} {
+		if !strings.Contains(out, policy) {
+			t.Errorf("policy %s missing from catalog output", policy)
+		}
+	}
+}
+
 func TestRunUnknown(t *testing.T) {
 	var b strings.Builder
 	if err := run(&b, "nope", 8, 0.5, 42, false, 1, 0); err == nil {

@@ -60,8 +60,13 @@ type InstanceType struct {
 
 // Units reports how many nested VMs of type other fit inside this type when
 // sliced by the nested hypervisor (§4.2 "slicing"). Zero when other does
-// not fit at all.
+// not fit at all — including every non-HVM type: the XenBlanket nested
+// hypervisor only runs on HVM hosts, so a paravirtual type has no slicing
+// capacity no matter how large it is.
 func (it InstanceType) Units(other InstanceType) int {
+	if !it.HVM {
+		return 0
+	}
 	if other.VCPUs <= 0 || other.MemoryMB <= 0 {
 		return 0
 	}
@@ -71,6 +76,25 @@ func (it InstanceType) Units(other InstanceType) int {
 		return byCPU
 	}
 	return byMem
+}
+
+// CompatibleUnits reports how many nested VMs of type base this type can
+// host such that every slice still dominates base on vCPU, memory *and*
+// network: Units(base) additionally capped so each slice's share of the
+// host's bandwidth stays at or above base's allotment
+// (NetworkMBs/units >= base.NetworkMBs). A type with zero CompatibleUnits
+// is not a feasible substitute host for base. Bases without a network
+// requirement (NetworkMBs <= 0) fall back to plain Units.
+func (it InstanceType) CompatibleUnits(base InstanceType) int {
+	u := it.Units(base)
+	if u <= 0 || base.NetworkMBs <= 0 {
+		return u
+	}
+	byNet := int(it.NetworkMBs / base.NetworkMBs)
+	if byNet < u {
+		u = byNet
+	}
+	return u
 }
 
 // InstanceID uniquely identifies a native instance within a provider.

@@ -67,6 +67,49 @@ func TestUnitsSlicing(t *testing.T) {
 	}
 }
 
+func TestUnitsRequireHVM(t *testing.T) {
+	// Regression: Units used to ignore HVM, so a big paravirtual host
+	// (which cannot boot the XenBlanket nested hypervisor, §4.1) looked
+	// sliceable. A non-HVM host must hold zero slices no matter how large.
+	med := typeByName(t, M3Medium)
+	bigPV := InstanceType{Name: "m1.big", VCPUs: 8, MemoryMB: 30720, OnDemand: 0.48, HVM: false, NetworkMBs: 120}
+	if got := bigPV.Units(med); got != 0 {
+		t.Errorf("non-HVM host holds %d slices, want 0", got)
+	}
+	if got := typeByName(t, M1Small).Units(typeByName(t, M1Small)); got != 0 {
+		t.Errorf("m1.small self-slicing = %d, want 0 (paravirtual)", got)
+	}
+	hvm := bigPV
+	hvm.HVM = true
+	if got := hvm.Units(med); got != 8 {
+		t.Errorf("HVM twin holds %d slices, want 8", got)
+	}
+}
+
+func TestCompatibleUnits(t *testing.T) {
+	med := typeByName(t, M3Medium) // 1 vCPU, 3840 MB, 60 MB/s
+	lrg := typeByName(t, M3Large)  // 2 vCPU, 7680 MB, 85 MB/s
+	// cpu/mem admit 2 medium slices, but 85/60 MB/s only sustains 1.
+	if got := lrg.CompatibleUnits(med); got != 1 {
+		t.Errorf("m3.large compatible-units = %d, want 1 (network-capped)", got)
+	}
+	if got := lrg.Units(med); got != 2 {
+		t.Errorf("m3.large cpu/mem units = %d, want 2", got)
+	}
+	// A baseline without a network requirement falls back to cpu/mem slicing.
+	noNet := med
+	noNet.NetworkMBs = 0
+	if got := lrg.CompatibleUnits(noNet); got != 2 {
+		t.Errorf("no-network baseline = %d units, want 2", got)
+	}
+	// Non-HVM hosts stay unplaceable under the network-aware path too.
+	pv := lrg
+	pv.HVM = false
+	if got := pv.CompatibleUnits(med); got != 0 {
+		t.Errorf("non-HVM compatible-units = %d, want 0", got)
+	}
+}
+
 func TestInstanceHasIP(t *testing.T) {
 	a := netip.MustParseAddr("10.0.0.5")
 	b := netip.MustParseAddr("10.0.0.6")

@@ -92,6 +92,16 @@ type Config struct {
 	// Defaults to a fresh ring of obs.DefaultTraceCap events.
 	Trace *obs.Trace
 
+	// NetworkAwareSlicing caps host slicing so every nested VM keeps its
+	// requested type's full network share (cloud.CompatibleUnits instead
+	// of cloud.Units): an m3.large (85 MB/s) then hosts one 60 MB/s
+	// medium slice, not two. The cheapest-compatible policy prices
+	// candidates with CompatibleUnits, so turning this on makes the
+	// controller pack exactly what the policy priced. Default off: the
+	// paper's figures slice by vCPU/memory alone, and the golden-pinned
+	// runs rely on that capacity.
+	NetworkAwareSlicing bool
+
 	// Predictive enables trend-based proactive migration (§3.2): when a
 	// spot pool's price rises toward the bid, live-migrate before the
 	// platform can issue a revocation. Mispredictions risk losing the

@@ -200,7 +200,7 @@ func (c *Controller) spotCalmFor(vs *vmState) bool {
 	calm := false
 	for _, key := range c.observedMarkets() {
 		typ, ok := c.prov.TypeByName(key.Type)
-		if !ok || typ.Units(vs.vm.Type) <= 0 {
+		if !ok || c.hostUnits(typ, vs.vm.Type) <= 0 {
 			continue
 		}
 		if c.marketCalm(key) {
@@ -284,7 +284,7 @@ func (c *Controller) requestSpare() {
 // for slotType, and replenishes the spare pool.
 func (c *Controller) takeSpare(slotType cloud.InstanceType) *hostState {
 	for i, h := range c.spares {
-		capacity := h.inst.Type.Units(slotType)
+		capacity := c.hostUnits(h.inst.Type, slotType)
 		if capacity < 1 || h.inst.State != cloud.StateRunning {
 			continue
 		}

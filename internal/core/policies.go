@@ -1,14 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/cloud"
 	"repro/internal/spotmarket"
 )
+
+// ErrUnknownMarket reports a policy market list naming an instance type the
+// provider's catalog does not carry. This is a configuration bug (a typo'd
+// type or a market list built for a different catalog), so policies fail
+// fast with it instead of silently shrinking their candidate set.
+var ErrUnknownMarket = errors.New("core: market names a type missing from the provider catalog")
 
 // History is the controller's own record of market behaviour: trailing
 // price observations (sampled by the monitor loop) and per-pool revocation
@@ -277,6 +285,28 @@ func Policy4PST() PlacementPolicy {
 	}
 }
 
+// marketKeyLess is the canonical (Type, Zone) order used for deterministic
+// tie-breaking: equal scores resolve to the lexicographically smallest
+// market, never to market-list order — so callers that build market lists
+// from map iteration cannot produce order-dependent placements.
+func marketKeyLess(a, b spotmarket.MarketKey) bool {
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	return a.Zone < b.Zone
+}
+
+// errNoFeasible formats a policy's empty-candidate-set failure, naming every
+// market that was skipped and why, so a misconfigured market list or a
+// market-wide price outage is diagnosable from the error alone.
+func errNoFeasible(policy string, considered int, skipped []string) error {
+	if len(skipped) == 0 {
+		return fmt.Errorf("core: policy %s found no feasible market among %d candidates", policy, considered)
+	}
+	return fmt.Errorf("core: policy %s found no feasible market among %d candidates (skipped %s)",
+		policy, considered, strings.Join(skipped, "; "))
+}
+
 // greedyCheapest implements §4.2's default acquisition: pick the market
 // whose *current* spot price per slot of the requested type is lowest,
 // exploiting non-proportional size-to-price ratios (arbitrage via slicing).
@@ -289,27 +319,34 @@ func (p *greedyCheapest) Name() string { return "greedy-cheapest" }
 func (p *greedyCheapest) Choose(ctx *PlacementContext) (string, cloud.Zone, error) {
 	best := -1
 	bestUnit := math.Inf(1)
+	var skipped []string
 	for i, m := range p.markets {
 		typ, ok := ctx.Provider.TypeByName(m.Type)
 		if !ok {
-			continue
+			// A typo'd market list would otherwise silently shrink the
+			// candidate set; unknown types are config bugs, not markets to
+			// skip.
+			return "", "", fmt.Errorf("%w: %v", ErrUnknownMarket, m)
 		}
 		units := typ.Units(ctx.Requested)
 		if units <= 0 {
+			skipped = append(skipped, fmt.Sprintf("%v: cannot host %s", m, ctx.Requested.Name))
 			continue
 		}
 		price, err := ctx.Provider.SpotPrice(m.Type, m.Zone)
 		if err != nil {
+			// Transient lookup failure: record and move on.
+			skipped = append(skipped, fmt.Sprintf("%v: price: %v", m, err))
 			continue
 		}
 		unit := float64(price) / float64(units)
-		if unit < bestUnit {
+		if unit < bestUnit || (unit == bestUnit && best >= 0 && marketKeyLess(m, p.markets[best])) {
 			bestUnit = unit
 			best = i
 		}
 	}
 	if best < 0 {
-		return "", "", fmt.Errorf("core: greedy policy found no feasible market")
+		return "", "", errNoFeasible(p.Name(), len(p.markets), skipped)
 	}
 	return p.markets[best].Type, p.markets[best].Zone, nil
 }
@@ -335,19 +372,24 @@ func (p *stabilityFirst) Name() string { return "stability-first" }
 func (p *stabilityFirst) Choose(ctx *PlacementContext) (string, cloud.Zone, error) {
 	best := -1
 	bestVol := math.Inf(1)
+	var skipped []string
 	for i, m := range p.markets {
 		typ, ok := ctx.Provider.TypeByName(m.Type)
-		if !ok || typ.Units(ctx.Requested) <= 0 {
+		if !ok {
+			return "", "", fmt.Errorf("%w: %v", ErrUnknownMarket, m)
+		}
+		if typ.Units(ctx.Requested) <= 0 {
+			skipped = append(skipped, fmt.Sprintf("%v: cannot host %s", m, ctx.Requested.Name))
 			continue
 		}
 		vol := ctx.History.Volatility(m)
-		if vol < bestVol {
+		if vol < bestVol || (vol == bestVol && best >= 0 && marketKeyLess(m, p.markets[best])) {
 			bestVol = vol
 			best = i
 		}
 	}
 	if best < 0 {
-		return "", "", fmt.Errorf("core: stability policy found no feasible market")
+		return "", "", errNoFeasible(p.Name(), len(p.markets), skipped)
 	}
 	return p.markets[best].Type, p.markets[best].Zone, nil
 }
@@ -359,6 +401,70 @@ func NewStabilityFirstPolicy(markets []spotmarket.MarketKey) PlacementPolicy {
 		markets = fourPools()
 	}
 	return &stabilityFirst{markets: markets}
+}
+
+// cheapestCompatible extends greedy-cheapest from a fixed market list to the
+// provider's whole catalog: any HVM type that dominates the requested
+// baseline (vCPU, memory, and per-slice network — cloud.CompatibleUnits) in
+// any zone is a candidate, and the policy buys the one whose current spot
+// price per slice is lowest. This is the market-diversification acquisition
+// a derivative cloud at scale wants: tens of independent markets instead of
+// four, so one market's spike neither strands capacity nor forces a
+// correlated revocation storm.
+type cheapestCompatible struct {
+	zones []cloud.Zone
+}
+
+func (p *cheapestCompatible) Name() string { return "cheapest-compatible" }
+
+func (p *cheapestCompatible) Choose(ctx *PlacementContext) (string, cloud.Zone, error) {
+	zones := p.zones
+	if zones == nil {
+		zones = ctx.Provider.Zones()
+	}
+	var (
+		bestKey  spotmarket.MarketKey
+		bestUnit float64
+		found    bool
+		total    int
+		skipped  []string
+	)
+	for _, typ := range ctx.Provider.Catalog() {
+		// Feasibility: HVM (the nested hypervisor requirement) and
+		// dominating the baseline on every axis after slicing.
+		units := typ.CompatibleUnits(ctx.Requested)
+		if units <= 0 {
+			continue
+		}
+		for _, zone := range zones {
+			total++
+			key := spotmarket.MarketKey{Type: typ.Name, Zone: zone}
+			price, err := ctx.Provider.SpotPrice(typ.Name, zone)
+			if err != nil {
+				// Catalog × zones may exceed the traced markets (or a
+				// lookup may transiently fail); record and move on.
+				skipped = append(skipped, fmt.Sprintf("%v: price: %v", key, err))
+				continue
+			}
+			unit := float64(price) / float64(units)
+			if !found || unit < bestUnit || (unit == bestUnit && marketKeyLess(key, bestKey)) {
+				found, bestUnit, bestKey = true, unit, key
+			}
+		}
+	}
+	if !found {
+		return "", "", errNoFeasible(p.Name(), total, skipped)
+	}
+	return bestKey.Type, bestKey.Zone, nil
+}
+
+// NewCheapestCompatiblePolicy returns the catalog-wide cheapest-compatible
+// acquisition policy. zones restricts the search; nil means every zone the
+// provider reports. Ties on per-slice price resolve to the lexicographically
+// smallest market key, so placements are deterministic however the catalog
+// is ordered.
+func NewCheapestCompatiblePolicy(zones []cloud.Zone) PlacementPolicy {
+	return &cheapestCompatible{zones: zones}
 }
 
 // NamedPolicies returns the five Table 2 policies in evaluation order.

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/cloud"
+	"repro/internal/cloudsim"
+	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 )
 
@@ -204,6 +208,199 @@ func TestGreedySkipsInfeasibleMarkets(t *testing.T) {
 	bad := NewGreedyCheapestPolicy([]spotmarket.MarketKey{{Type: cloud.M1Small, Zone: "zone-a"}})
 	if _, _, err := bad.Choose(ctx); err == nil {
 		t.Error("infeasible market list accepted")
+	}
+}
+
+func TestPoliciesFailFastOnUnknownMarket(t *testing.T) {
+	// A market list naming a type outside the provider catalog is a config
+	// bug (typo'd list or a list built for a different catalog). Both
+	// list-driven policies must fail fast with ErrUnknownMarket — not
+	// silently shrink the candidate set — and name the offending market.
+	ctx := testCtx(t, nil)
+	markets := []spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: "zone-a"},
+		{Type: "m9.imaginary", Zone: "zone-a"},
+	}
+	for _, p := range []PlacementPolicy{
+		NewGreedyCheapestPolicy(markets),
+		NewStabilityFirstPolicy(markets),
+	} {
+		_, _, err := p.Choose(ctx)
+		if !errors.Is(err, ErrUnknownMarket) {
+			t.Errorf("%s: err = %v, want ErrUnknownMarket", p.Name(), err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "m9.imaginary") {
+			t.Errorf("%s: error should name the market, got %v", p.Name(), err)
+		}
+	}
+}
+
+func TestNoFeasibleErrorNamesSkippedMarkets(t *testing.T) {
+	ctx := testCtx(t, nil)
+	// m1.small is in the catalog but cannot host a medium (infeasible);
+	// m3.medium/zone-b is a known type with no trace (price lookup fails).
+	// Both skips must be diagnosable from the error text.
+	p := NewGreedyCheapestPolicy([]spotmarket.MarketKey{
+		{Type: cloud.M1Small, Zone: "zone-a"},
+		{Type: cloud.M3Medium, Zone: "zone-b"},
+	})
+	_, _, err := p.Choose(ctx)
+	if err == nil {
+		t.Fatal("expected no-feasible error")
+	}
+	for _, want := range []string{"m1.small", "cannot host", "zone-b", "price:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+}
+
+func TestGreedyTieBreaksLexicographically(t *testing.T) {
+	// Medium at $0.01 for 1 slice and large at $0.02 for 2 slices price to
+	// the same $0.01/slice. The winner must be the lexicographically
+	// smallest market key (m3.large < m3.medium) in either list order.
+	traces := spotmarket.Set{
+		{Type: cloud.M3Medium, Zone: "zone-a"}: makeTrace(t, 0.01, testEnd),
+		{Type: cloud.M3Large, Zone: "zone-a"}:  makeTrace(t, 0.02, testEnd),
+	}
+	r := newRig(t, traces, nil)
+	ctx := &PlacementContext{
+		Requested: mustType(t, r, cloud.M3Medium),
+		Provider:  r.plat,
+		History:   NewHistory(),
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	markets := []spotmarket.MarketKey{
+		{Type: cloud.M3Medium, Zone: "zone-a"},
+		{Type: cloud.M3Large, Zone: "zone-a"},
+	}
+	for _, order := range [][]spotmarket.MarketKey{
+		markets,
+		{markets[1], markets[0]},
+	} {
+		typ, _, err := NewGreedyCheapestPolicy(order).Choose(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != cloud.M3Large {
+			t.Errorf("order %v: tie broke to %s, want m3.large", order, typ)
+		}
+	}
+}
+
+// catalogRig builds a platform over the generated default catalog with flat
+// traces for HVM markets in the given zones; prices vary deterministically
+// per market so unit costs differ.
+func catalogRig(t *testing.T, tracedZones []cloud.Zone) (*cloudsim.Platform, cloud.Catalog) {
+	t.Helper()
+	cat, err := cloud.GenerateCatalog(cloud.DefaultCatalogSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := spotmarket.Set{}
+	for i, typ := range cat.HVMTypes() {
+		for j, zone := range tracedZones {
+			price := cloud.USD(float64(typ.OnDemand) * (0.05 + 0.011*float64((i+3*j)%7)))
+			traces[spotmarket.MarketKey{Type: typ.Name, Zone: zone}] = makeTrace(t, price, testEnd)
+		}
+	}
+	plat, err := cloudsim.New(simkit.NewScheduler(), cloudsim.Config{
+		Traces:    traces,
+		Catalog:   cat.Types,
+		Zones:     cat.Zones,
+		Latencies: cloudsim.ZeroOpLatencies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plat, cat
+}
+
+func TestCheapestCompatibleNeverDominated(t *testing.T) {
+	// Property: over the full generated catalog (zone-c untraced, so the
+	// policy must tolerate price-lookup failures), the chosen market's
+	// per-slice price is the minimum over every feasible market, with ties
+	// resolved to the lexicographically smallest key.
+	plat, cat := catalogRig(t, []cloud.Zone{"zone-a", "zone-b"})
+	req, ok := cat.TypeByName(cloud.M3Medium)
+	if !ok {
+		t.Fatal("m3.medium missing from generated catalog")
+	}
+	p := NewCheapestCompatiblePolicy(nil)
+	if p.Name() != "cheapest-compatible" {
+		t.Error("name wrong")
+	}
+	ctx := &PlacementContext{Requested: req, Provider: plat, History: NewHistory(), Rand: rand.New(rand.NewSource(1))}
+	typ, zone, err := p.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := spotmarket.MarketKey{Type: typ, Zone: zone}
+	chosenType, ok := plat.TypeByName(typ)
+	if !ok {
+		t.Fatalf("chose unknown type %s", typ)
+	}
+	chosenUnits := chosenType.CompatibleUnits(req)
+	if chosenUnits <= 0 {
+		t.Fatalf("chose infeasible market %v", chosen)
+	}
+	price, err := plat.SpotPrice(typ, zone)
+	if err != nil {
+		t.Fatalf("chose untraced market %v: %v", chosen, err)
+	}
+	chosenUnit := float64(price) / float64(chosenUnits)
+	feasible := 0
+	for _, cand := range plat.Catalog() {
+		units := cand.CompatibleUnits(req)
+		if units <= 0 {
+			continue
+		}
+		for _, z := range plat.Zones() {
+			p, err := plat.SpotPrice(cand.Name, z)
+			if err != nil {
+				continue
+			}
+			feasible++
+			unit := float64(p) / float64(units)
+			key := spotmarket.MarketKey{Type: cand.Name, Zone: z}
+			if unit < chosenUnit {
+				t.Errorf("market %v at $%.6f/slice dominates chosen %v at $%.6f/slice", key, unit, chosen, chosenUnit)
+			}
+			if unit == chosenUnit && marketKeyLess(key, chosen) {
+				t.Errorf("tie with %v should have broken away from %v", key, chosen)
+			}
+		}
+	}
+	// Sanity: the catalog sweep actually considered many markets.
+	if feasible < 20 {
+		t.Errorf("only %d feasible markets; catalog sweep too small to be meaningful", feasible)
+	}
+}
+
+func TestCheapestCompatibleNoFeasible(t *testing.T) {
+	plat, _ := catalogRig(t, []cloud.Zone{"zone-a"})
+	// Nothing in the catalog dominates a 128-vCPU monster.
+	ctx := &PlacementContext{
+		Requested: cloud.InstanceType{Name: "huge", VCPUs: 128, MemoryMB: 1 << 20, NetworkMBs: 10000},
+		Provider:  plat,
+		History:   NewHistory(),
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	if _, _, err := NewCheapestCompatiblePolicy(nil).Choose(ctx); err == nil {
+		t.Error("infeasible request accepted")
+	}
+}
+
+func TestCheapestCompatibleZoneRestriction(t *testing.T) {
+	plat, cat := catalogRig(t, []cloud.Zone{"zone-a", "zone-b"})
+	req, _ := cat.TypeByName(cloud.M3Medium)
+	ctx := &PlacementContext{Requested: req, Provider: plat, History: NewHistory(), Rand: rand.New(rand.NewSource(1))}
+	_, zone, err := NewCheapestCompatiblePolicy([]cloud.Zone{"zone-b"}).Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zone != "zone-b" {
+		t.Errorf("zone-restricted policy chose %v", zone)
 	}
 }
 

@@ -110,6 +110,16 @@ func (c *Controller) placeNew(vs *vmState, attempts int) {
 	})
 }
 
+// hostUnits is the number of slot-type slices the controller packs onto a
+// host: plain vCPU/memory slicing by default, additionally network-capped
+// under Config.NetworkAwareSlicing.
+func (c *Controller) hostUnits(host, slot cloud.InstanceType) int {
+	if c.cfg.NetworkAwareSlicing {
+		return host.CompatibleUnits(slot)
+	}
+	return host.Units(slot)
+}
+
 // pendingAcq is an in-flight native host acquisition. Concurrent placements
 // for the same pool share one acquisition until its slots are spoken for
 // (the paper "reserves the additional slot in order to rapidly allocate ...
@@ -140,7 +150,7 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 		cb(nil, fmt.Errorf("core: unknown native type %q", key.Type))
 		return
 	}
-	capacity := natType.Units(slotType)
+	capacity := c.hostUnits(natType, slotType)
 	if capacity <= 0 {
 		cb(nil, fmt.Errorf("core: native type %s cannot host %s", key.Type, slotType.Name))
 		return

@@ -58,13 +58,23 @@ type PolicyRunConfig struct {
 
 	// The remaining knobs support the ablation studies; zero values give
 	// the paper's defaults.
-	Traces        spotmarket.Set         // custom price traces
-	Bidding       core.BiddingPolicy     // bid=OD vs k×OD
-	Destination   core.DestinationPolicy // lazy OD / hot spares / staging
-	HotSpares     int
-	Stateless     bool // request every VM as stateless
-	Predictive    core.PredictiveConfig
-	WarningWindow simkit.Time // shrink the platform's revocation warning
+	Traces spotmarket.Set // custom price traces
+	// Catalog and Zones replace the platform's instance-type catalog and
+	// availability zones (nil keeps cloud.DefaultCatalog/DefaultZones).
+	// The catalog comparison experiment runs the generated large catalog
+	// through these.
+	Catalog []cloud.InstanceType
+	Zones   []cloud.Zone
+	// NetworkAwareSlicing turns on network-capped host slicing
+	// (core.Config.NetworkAwareSlicing) so packed capacity matches what
+	// the cheapest-compatible policy priced.
+	NetworkAwareSlicing bool
+	Bidding             core.BiddingPolicy     // bid=OD vs k×OD
+	Destination         core.DestinationPolicy // lazy OD / hot spares / staging
+	HotSpares           int
+	Stateless           bool // request every VM as stateless
+	Predictive          core.PredictiveConfig
+	WarningWindow       simkit.Time // shrink the platform's revocation warning
 	// BillingIncrement enables 2015-era period billing on the platform.
 	BillingIncrement simkit.Time
 	// Workload selects the application profile (default workload.TPCW()).
@@ -173,6 +183,8 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 	// snapshot carries both spotcheck_* and spotcheck_cloudsim_* families.
 	reg := obs.NewRegistry()
 	platCfg := cloudsim.Config{
+		Catalog:          cfg.Catalog,
+		Zones:            cfg.Zones,
 		Traces:           traces,
 		Seed:             cfg.Seed,
 		WarningWindow:    cfg.WarningWindow,
@@ -180,17 +192,18 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		Metrics:          reg,
 	}
 	coreCfg := core.Config{
-		Scheduler:       sched,
-		Mechanism:       cfg.Mechanism,
-		Placement:       cfg.Policy.New(),
-		Bidding:         cfg.Bidding,
-		Destination:     cfg.Destination,
-		HotSpares:       cfg.HotSpares,
-		Predictive:      cfg.Predictive,
-		MonitorInterval: cfg.MonitorInterval,
-		Workload:        cfg.Workload,
-		Seed:            cfg.Seed,
-		Metrics:         reg,
+		Scheduler:           sched,
+		Mechanism:           cfg.Mechanism,
+		Placement:           cfg.Policy.New(),
+		Bidding:             cfg.Bidding,
+		Destination:         cfg.Destination,
+		HotSpares:           cfg.HotSpares,
+		Predictive:          cfg.Predictive,
+		MonitorInterval:     cfg.MonitorInterval,
+		NetworkAwareSlicing: cfg.NetworkAwareSlicing,
+		Workload:            cfg.Workload,
+		Seed:                cfg.Seed,
+		Metrics:             reg,
 	}
 	if cfg.FleetMode {
 		// Peak live instances stay below the nested-VM count (hosts are
