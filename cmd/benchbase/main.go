@@ -244,7 +244,7 @@ func run(stdout, stderr io.Writer, argv []string, bench runBenches) int {
 		benchRe   = fs.String("bench", ".", "benchmark selection regexp (go test -bench)")
 		benchtime = fs.String("benchtime", "", "per-benchmark time or iterations (go test -benchtime)")
 		count     = fs.Int("count", 1, "repetitions per benchmark; the minimum is kept")
-		pkgs      = fs.String("pkgs", ".,./internal/simkit,./internal/spotmarket",
+		pkgs      = fs.String("pkgs", ".,./internal/simkit,./internal/spotmarket,./internal/lint",
 			"comma-separated packages holding the benchmark suites")
 		nsTol    = fs.Float64("tolerance", 0.50, "fractional ns/op regression allowed (0.5 = 50% slower)")
 		allocTol = fs.Float64("alloc-tolerance", 0.25, "fractional allocs/op regression allowed")

@@ -28,6 +28,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -49,11 +50,11 @@ import (
 
 type daemon struct {
 	mu    sync.Mutex
-	sched *simkit.Scheduler
-	plat  *cloudsim.Platform
-	ctrl  *core.Controller
-	reg   *obs.Registry
-	trace *obs.Trace
+	sched *simkit.Scheduler  // guarded by mu (virtual time advances under lock)
+	plat  *cloudsim.Platform // guarded by mu
+	ctrl  *core.Controller   // guarded by mu
+	reg   *obs.Registry      // self-synchronizing; metrics handler reads lock-free
+	trace *obs.Trace         // self-synchronizing; trace handler reads lock-free
 }
 
 func newDaemon(months float64, seed int64) (*daemon, error) {
@@ -251,7 +252,11 @@ func (d *daemon) handlePrices(w http.ResponseWriter, _ *http.Request) {
 		for _, zone := range d.plat.Zones() {
 			p, err := d.plat.SpotPrice(typ.Name, zone)
 			if err != nil {
-				continue
+				if errors.Is(err, cloud.ErrNotFound) {
+					continue // untraced market: nothing to list
+				}
+				d.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+				return
 			}
 			out = append(out, price{Type: typ.Name, Zone: string(zone), Spot: p, OnDemand: typ.OnDemand})
 		}

@@ -39,8 +39,8 @@ func (e Event) String() string {
 // months-long simulations; the newest events win.
 type eventLog struct {
 	mu   sync.Mutex
-	cap  int
-	byVM map[nestedvm.ID][]Event
+	cap  int                     // immutable after construction
+	byVM map[nestedvm.ID][]Event // guarded by mu
 }
 
 const defaultEventCap = 256

@@ -34,6 +34,7 @@ type coreMetrics struct {
 	predMisses  *obs.Counter
 	sliced      *obs.Counter
 	monitorTick *obs.Counter
+	provErrs    *obs.Counter
 	stormVMs    *obs.Histogram
 
 	hostsAcquired map[PoolKey]*obs.Counter
@@ -59,6 +60,7 @@ func newCoreMetrics(reg *obs.Registry, trace *obs.Trace) *coreMetrics {
 		predMisses:  reg.Counter("spotcheck_predictive_misses_total"),
 		sliced:      reg.Counter("spotcheck_hosts_sliced_total"),
 		monitorTick: reg.Counter("spotcheck_monitor_ticks_total"),
+		provErrs:    reg.Counter("spotcheck_provider_errors_total"),
 		stormVMs:    reg.Histogram("spotcheck_revocation_batch_vms", obs.CountBuckets),
 
 		hostsAcquired: map[PoolKey]*obs.Counter{},
@@ -81,6 +83,7 @@ func newCoreMetrics(reg *obs.Registry, trace *obs.Trace) *coreMetrics {
 	reg.Describe("spotcheck_predictive_misses_total", "Predictive evacuations whose source was revoked mid-copy.")
 	reg.Describe("spotcheck_hosts_sliced_total", "Acquired hosts sliced into multiple nested VM slots.")
 	reg.Describe("spotcheck_monitor_ticks_total", "Controller monitor loop iterations.")
+	reg.Describe("spotcheck_provider_errors_total", "Unexpected provider errors (not ErrNotFound) swallowed by periodic sweeps.")
 	reg.Describe("spotcheck_revocation_batch_vms", "Running VMs displaced per revocation batch (Table 3 storms).")
 	reg.Describe("spotcheck_hosts_acquired_total", "Native hosts acquired, by pool.")
 	reg.Describe("spotcheck_spot_requests_total", "Spot bids placed, by pool.")

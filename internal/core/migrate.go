@@ -642,6 +642,9 @@ func (c *Controller) tryReturn(vs *vmState) {
 		ctx := &PlacementContext{Requested: vs.vm.Type, Provider: c.prov, History: c.history, Rand: c.rng}
 		natType, zone, err := c.cfg.Placement.Choose(ctx)
 		if err != nil {
+			// No viable spot destination this tick; the VM stays where it
+			// is and the next monitor tick retries. Count the miss.
+			c.met.destFails.Inc()
 			return
 		}
 		target = PoolKey{Type: natType, Zone: zone, Market: cloud.MarketSpot}

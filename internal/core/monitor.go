@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"repro/internal/cloud"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
@@ -73,6 +75,12 @@ func (c *Controller) observePrices() {
 		for _, zone := range c.prov.Zones() {
 			price, err := c.prov.SpotPrice(typ.Name, zone)
 			if err != nil {
+				// No trace for this type/zone pair is expected — the
+				// catalog is larger than the traced market set. Anything
+				// else is a provider fault worth surfacing.
+				if !errors.Is(err, cloud.ErrNotFound) {
+					c.met.provErrs.Inc()
+				}
 				continue
 			}
 			key := spotmarket.MarketKey{Type: typ.Name, Zone: zone}

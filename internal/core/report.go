@@ -55,6 +55,13 @@ type Report struct {
 	// downtime "is not long enough to break TCP connections".
 	MaxDownSpell simkit.Time
 	TCPBreaks    int
+
+	// BillingErrors counts rentals whose provider cost query failed while
+	// building this report; nonzero means the cost totals undercount the
+	// real bill. BillingErrSample keeps the last such failure for
+	// diagnosis.
+	BillingErrors    int
+	BillingErrSample string
 }
 
 // TCPTimeout is the conservative connection timeout the paper cites
@@ -267,6 +274,10 @@ func (c *Controller) Report() Report {
 			var err error
 			cost, err = c.prov.AccruedCost(rt.inst.ID)
 			if err != nil {
+				// An unpriceable rental must not vanish from the bill
+				// silently; record it so TotalCost's undercount is visible.
+				r.BillingErrors++
+				r.BillingErrSample = fmt.Sprintf("%s: %v", rt.inst.ID, err)
 				continue
 			}
 			if rt.inst.State == cloud.StateTerminated {

@@ -90,6 +90,10 @@ func (s *Sharded) DescribeVM(id nestedvm.ID) (VMInfo, error) {
 func (s *Sharded) Report() Report {
 	var agg Report
 	var weightedDownNum, totalService float64
+	// Down/degraded totals are already fleet-scale per shard; summing the
+	// saturating simkit.Time values directly can wrap int64 nanoseconds,
+	// so the cross-shard sums ride the widened accumulator.
+	var down, degraded durAcc
 	for _, c := range s.shards {
 		r := c.Report()
 		if r.At > agg.At {
@@ -100,8 +104,12 @@ func (s *Sharded) Report() Report {
 		agg.BackupCost += r.BackupCost
 		agg.SpareCost += r.SpareCost
 		agg.TotalCost += r.TotalCost
-		agg.TotalDown += r.TotalDown
-		agg.TotalDegraded += r.TotalDegraded
+		down.add(r.TotalDown)
+		degraded.add(r.TotalDegraded)
+		agg.BillingErrors += r.BillingErrors
+		if r.BillingErrSample != "" {
+			agg.BillingErrSample = r.BillingErrSample
+		}
 		agg.StormSizes = append(agg.StormSizes, r.StormSizes...)
 		if r.MaxStorm > agg.MaxStorm {
 			agg.MaxStorm = r.MaxStorm
@@ -130,9 +138,11 @@ func (s *Sharded) Report() Report {
 		weightedDownNum += (1 - r.Availability) * r.VMHours
 		totalService += r.VMHours
 	}
+	agg.TotalDown = down.clamp()
+	agg.TotalDegraded = degraded.clamp()
 	if totalService > 0 {
 		agg.Availability = 1 - weightedDownNum/totalService
-		agg.DegradedFraction = agg.TotalDegraded.Hours() / totalService
+		agg.DegradedFraction = degraded.hours() / totalService
 		agg.CostPerVMHour = cloud.USD(float64(agg.TotalCost) / totalService)
 	} else {
 		agg.Availability = 1

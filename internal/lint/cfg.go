@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of the dataflow layer: a per-function
+// CFG over go/ast, built without type information. Each function body
+// becomes a graph of basic blocks; statements stay ast.Nodes so analyzers
+// can pattern-match them, and branch edges carry the controlling condition
+// so analyses can refine facts per branch (the `if err != nil` edge knows
+// err is non-nil). See dataflow.go for the fixed-point solver and
+// docs/LINTING.md ("Writing a dataflow analyzer") for the contract.
+
+// cfgEdge is one control transfer. cond is nil for unconditional edges;
+// for conditional ones, branch records the value cond took along the edge.
+type cfgEdge struct {
+	to     *cfgBlock
+	cond   ast.Expr
+	branch bool
+}
+
+// cfgBlock is a straight-line run of statements with outgoing edges.
+// nodes holds statements (and synthetic ast.ExprStmt wrappers for switch
+// tags and case expressions, so their identifier uses are visible to
+// transfer functions) in execution order.
+type cfgBlock struct {
+	id    int
+	nodes []ast.Node
+	edges []cfgEdge
+}
+
+// funcCFG is one function body's control-flow graph. Blocks unreachable
+// from entry (code after an unconditional return, the after-block of a
+// `for {}` with no break) exist but are never visited by the solver.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// cfgFrame is one enclosing breakable construct: loops fill cont, switch
+// and select leave it nil. label is the construct's label, "" if none.
+type cfgFrame struct {
+	label     string
+	brk, cont *cfgBlock
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	frames []cfgFrame
+	// pending is a label waiting for the loop/switch it names.
+	pending string
+	// ftTarget is the next case clause's body, for fallthrough.
+	ftTarget *cfgBlock
+}
+
+// buildCFG builds the graph for one function body. The body of a nested
+// function literal is NOT inlined — analyze closures as separate
+// functions.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	if end := b.stmts(g.entry, body.List); end != nil {
+		b.edge(end, g.exit, nil, false)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{id: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock, cond ast.Expr, branch bool) {
+	from.edges = append(from.edges, cfgEdge{to: to, cond: cond, branch: branch})
+}
+
+// stmts threads a statement list through the graph; nil means control
+// never falls off the end (return, break, …).
+func (b *cfgBuilder) stmts(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminator; park it in an unreachable block
+			// so its statements still exist for syntactic walks.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pending
+	b.pending = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.LabeledStmt:
+		b.pending = s.Label.Name
+		next := b.stmt(cur, s.Stmt)
+		b.pending = ""
+		return next
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		thenB := b.newBlock()
+		b.edge(cur, thenB, s.Cond, true)
+		tEnd := b.stmt(thenB, s.Body)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB, s.Cond, false)
+			eEnd := b.stmt(elseB, s.Else)
+			if tEnd == nil && eEnd == nil {
+				return nil
+			}
+			after := b.newBlock()
+			if tEnd != nil {
+				b.edge(tEnd, after, nil, false)
+			}
+			if eEnd != nil {
+				b.edge(eEnd, after, nil, false)
+			}
+			return after
+		}
+		after := b.newBlock()
+		b.edge(cur, after, s.Cond, false)
+		if tEnd != nil {
+			b.edge(tEnd, after, nil, false)
+		}
+		return after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, after, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		b.edge(post, head, nil, false)
+		b.frames = append(b.frames, cfgFrame{label: label, brk: after, cont: post})
+		end := b.stmt(body, s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		if end != nil {
+			b.edge(end, post, nil, false)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		// The RangeStmt node itself carries the key/value definitions and
+		// the ranged expression's uses.
+		head.nodes = append(head.nodes, s)
+		b.edge(cur, head, nil, false)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false)
+		b.frames = append(b.frames, cfgFrame{label: label, brk: after, cont: head})
+		end := b.stmt(body, s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		if end != nil {
+			b.edge(end, head, nil, false)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, &ast.ExprStmt{X: s.Tag})
+		}
+		return b.caseClauses(cur, label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.caseClauses(cur, label, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		b.frames = append(b.frames, cfgFrame{label: label, brk: after})
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk, nil, false)
+			if comm.Comm != nil {
+				blk.nodes = append(blk.nodes, comm.Comm)
+			}
+			if end := b.stmts(blk, comm.Body); end != nil {
+				b.edge(end, after, nil, false)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		return after
+
+	case *ast.BranchStmt:
+		cur.nodes = append(cur.nodes, s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(label, false); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.CONTINUE:
+			if t := b.findFrame(label, true); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.FALLTHROUGH:
+			if b.ftTarget != nil {
+				b.edge(cur, b.ftTarget, nil, false)
+			}
+		case token.GOTO:
+			// Conservative: treat goto as leaving the function, so no
+			// facts flow along an edge we cannot model.
+			b.edge(cur, b.g.exit, nil, false)
+		}
+		return nil
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.g.exit, nil, false)
+		return nil
+
+	default:
+		// Plain statements: assignments, declarations, expression
+		// statements, defer, go, send, inc/dec, empty.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// caseClauses wires a switch's cases: every case is entered from the
+// switch head; a missing default adds a head→after edge; fallthrough
+// jumps to the next case's body.
+func (b *cfgBuilder) caseClauses(cur *cfgBlock, label string, clauses []ast.Stmt, _ *cfgBlock) *cfgBlock {
+	after := b.newBlock()
+	b.frames = append(b.frames, cfgFrame{label: label, brk: after})
+	bodies := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cs := range clauses {
+		bodies[i] = b.newBlock()
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cs := range clauses {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.edge(cur, bodies[i], nil, false)
+		for _, e := range cc.List {
+			bodies[i].nodes = append(bodies[i].nodes, &ast.ExprStmt{X: e})
+		}
+		prevFT := b.ftTarget
+		if i+1 < len(bodies) {
+			b.ftTarget = bodies[i+1]
+		} else {
+			b.ftTarget = nil
+		}
+		if end := b.stmts(bodies[i], cc.Body); end != nil {
+			b.edge(end, after, nil, false)
+		}
+		b.ftTarget = prevFT
+	}
+	if !hasDefault {
+		b.edge(cur, after, nil, false)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	return after
+}
+
+// findFrame resolves a break (wantCont false) or continue (true) target.
+// An empty label matches the innermost eligible frame.
+func (b *cfgBuilder) findFrame(label string, wantCont bool) *cfgBlock {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if wantCont && f.cont == nil {
+			continue
+		}
+		if label != "" && f.label != label {
+			continue
+		}
+		if wantCont {
+			return f.cont
+		}
+		return f.brk
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file is the solver half of the dataflow layer: a forward
+// fixed-point iteration over a funcCFG (cfg.go). Analyzers supply a state
+// (any type implementing flowState), a transfer function applied to each
+// statement in order, and an optional refine hook applied to conditional
+// edges — that hook is what lets `if err != nil { continue }` know err is
+// non-nil inside the branch. States must form a finite lattice under
+// joinFrom for the iteration to terminate; a generous step budget guards
+// against a non-monotone analysis looping forever.
+
+// flowState is one analysis's abstract state at a program point.
+type flowState interface {
+	// clone returns an independent copy.
+	clone() flowState
+	// joinFrom merges o into the receiver (lattice join) and reports
+	// whether the receiver changed.
+	joinFrom(o flowState) bool
+}
+
+// flowFuncs packages an analysis's transfer behavior.
+type flowFuncs struct {
+	// transfer mutates st across one sequential node.
+	transfer func(st flowState, n ast.Node)
+	// refine (optional) mutates st along a conditional edge: cond held
+	// value branch on this path.
+	refine func(st flowState, cond ast.Expr, branch bool)
+}
+
+// solve runs the forward fixed-point and returns each reachable block's
+// entry state. Reporting passes re-run transfer over a clone of a block's
+// entry state to recover the state at each statement.
+func (g *funcCFG) solve(entry flowState, f flowFuncs) map[*cfgBlock]flowState {
+	in := map[*cfgBlock]flowState{g.entry: entry}
+	work := []*cfgBlock{g.entry}
+	limit := (len(g.blocks) + 1) * 64
+	for steps := 0; len(work) > 0 && steps < limit; steps++ {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[blk].clone()
+		for _, n := range blk.nodes {
+			f.transfer(st, n)
+		}
+		for _, e := range blk.edges {
+			es := st.clone()
+			if e.cond != nil && f.refine != nil {
+				f.refine(es, e.cond, e.branch)
+			}
+			if cur, ok := in[e.to]; ok {
+				if cur.joinFrom(es) {
+					work = append(work, e.to)
+				}
+			} else {
+				in[e.to] = es
+				work = append(work, e.to)
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Shared syntactic helpers for the dataflow analyzers.
+
+// funcBodies visits every function body in the file: declarations first,
+// then each function literal (closures are analyzed as separate
+// functions). decl is the enclosing FuncDecl, nil for literals at
+// package-level var initializers.
+func funcBodies(f *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(fd, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// recvTypeName returns the bare receiver type name of a method ("durAcc"
+// for `func (d *durAcc) add…`), "" for functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// recvObj returns the receiver identifier's object, nil for unnamed or
+// absent receivers.
+func recvObj(fd *ast.FuncDecl) *ast.Object {
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fd.Recv.List[0].Names[0].Obj
+}
+
+// selectorPath renders a pure identifier chain ("p.instSlab", "c.sched")
+// or returns "" when the expression is anything else (calls, indexes).
+func selectorPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := selectorPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return selectorPath(e.X)
+	}
+	return ""
+}
+
+// pathContainsFold reports whether any dot-separated segment of path
+// contains sub, case-insensitively ("p.instSlab" contains "slab").
+func pathContainsFold(path, sub string) bool {
+	for _, seg := range strings.Split(path, ".") {
+		if strings.Contains(strings.ToLower(seg), sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// nilComparison decodes `x == nil` / `x != nil` (either operand order),
+// returning the compared expression and whether the operator is ==.
+func nilComparison(e ast.Expr) (x ast.Expr, isEq, ok bool) {
+	be, isBin := e.(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false, false
+	}
+	switch {
+	case isNilIdent(be.Y):
+		return be.X, be.Op == token.EQL, true
+	case isNilIdent(be.X):
+		return be.Y, be.Op == token.EQL, true
+	}
+	return nil, false, false
+}
+
+// importLocalNames resolves the local names a file binds for the given
+// import paths (unquoted), honoring aliases. The default name for
+// "math/rand/v2" is "rand".
+func importLocalNames(f *ast.File, paths ...string) map[string]bool {
+	want := map[string]bool{}
+	for _, p := range paths {
+		want[p] = true
+	}
+	out := map[string]bool{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if !want[path] {
+			continue
+		}
+		local := path
+		if i := strings.LastIndexByte(local, '/'); i >= 0 {
+			local = local[i+1:]
+		}
+		if local == "v2" { // math/rand/v2 and friends
+			rest := strings.TrimSuffix(strings.Trim(imp.Path.Value, `"`), "/v2")
+			if i := strings.LastIndexByte(rest, '/'); i >= 0 {
+				rest = rest[i+1:]
+			}
+			local = rest
+		}
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		out[local] = true
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package lint
+
+import "testing"
+
+func TestDurAccLoopAccumulation(t *testing.T) {
+	src := `package core
+
+import "repro/internal/simkit"
+
+func sum(spans []simkit.Time) simkit.Time {
+	var total simkit.Time
+	for _, s := range spans {
+		total += s
+	}
+	return total
+}
+`
+	got := runOne(t, DurAcc, "internal/core", src)
+	wantFindings(t, got, "duration accumulation total +=")
+}
+
+func TestDurAccFieldAccumulation(t *testing.T) {
+	src := `package core
+
+import "repro/internal/simkit"
+
+type tally struct {
+	down simkit.Time
+}
+
+func (t *tally) fold(spans []simkit.Time) {
+	for _, s := range spans {
+		t.down = t.down + s
+	}
+}
+`
+	got := runOne(t, DurAcc, "internal/core", src)
+	wantFindings(t, got, "duration accumulation t.down")
+}
+
+// A for statement's own post clause steps virtual time over a bounded
+// horizon — that is iteration, not accumulation.
+func TestDurAccForPostExempt(t *testing.T) {
+	src := `package core
+
+import "repro/internal/simkit"
+
+func walk(horizon simkit.Time) int {
+	n := 0
+	for t := simkit.Time(0); t < horizon; t += simkit.Minute {
+		n++
+	}
+	return n
+}
+`
+	wantFindings(t, runOne(t, DurAcc, "internal/core", src))
+}
+
+// durAcc's own methods are the blessed implementation; packages outside
+// the fleet-scale set keep plain arithmetic.
+func TestDurAccExemptions(t *testing.T) {
+	durAccImpl := `package core
+
+import "repro/internal/simkit"
+
+type durAcc struct{ hi, lo int64 }
+
+func (d *durAcc) addAll(spans []simkit.Time) {
+	var lo simkit.Time
+	for _, s := range spans {
+		lo += s
+	}
+	d.lo += int64(lo)
+}
+`
+	wantFindings(t, runOne(t, DurAcc, "internal/core", durAccImpl))
+
+	elsewhere := `package workload
+
+import "time"
+
+func sum(spans []time.Duration) time.Duration {
+	var total time.Duration
+	for _, s := range spans {
+		total += s
+	}
+	return total
+}
+`
+	wantFindings(t, runOne(t, DurAcc, "internal/workload", elsewhere))
+}
+
+// Accumulation outside any loop is a single bounded addition.
+func TestDurAccOutsideLoop(t *testing.T) {
+	src := `package core
+
+import "repro/internal/simkit"
+
+func once(a, b simkit.Time) simkit.Time {
+	a += b
+	return a
+}
+`
+	wantFindings(t, runOne(t, DurAcc, "internal/core", src))
+}
+
+func TestDurAccSuppressed(t *testing.T) {
+	src := `package core
+
+import "repro/internal/simkit"
+
+func sum(spans []simkit.Time) simkit.Time {
+	var total simkit.Time
+	for _, s := range spans {
+		//lint:ignore duracc fixture: bounded by construction
+		total += s
+	}
+	return total
+}
+`
+	wantFindings(t, runOne(t, DurAcc, "internal/core", src))
+}

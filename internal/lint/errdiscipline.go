@@ -1,0 +1,524 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrDiscipline enforces the error-handling contract the PR 7 policy bugs
+// motivated: an error value, once live and known non-nil, must be
+// consumed — returned, wrapped, passed to a call, classified with
+// errors.Is — not silently dropped. Three rules, all intraprocedural over
+// the CFG:
+//
+//  1. `_ = err` discards of a live error variable;
+//  2. a bare `continue`/`break`, or a `return` whose results never
+//     mention the error and construct nothing, on a path where the error
+//     is known non-nil and has not been consumed (the
+//     `if err != nil { continue }` swallow that masked catalog
+//     misconfiguration across 54 markets);
+//  3. `fmt.Errorf` formatting a sentinel (`ErrFoo`) or live error with
+//     %v/%s instead of wrapping with %w, which breaks errors.Is callers.
+//
+// Error-ness is inferred without types: a variable is tracked when it is
+// declared `var x error`, named like an error (err, errX), or bound as
+// the final result of a multi-value call and later compared against nil.
+//
+// Deliberate exemptions, documented in docs/LINTING.md: an error scoped
+// to an if/switch init clause (`if err := f(); err != nil { … }`) is a
+// predicate by construction — it cannot escape the statement; errors
+// from strconv parse helpers are validity tests, not events; and a
+// branch that performs any call while the error is live (a retry, a
+// counter increment, a log) has reacted to the failure, so a subsequent
+// bare return is not a swallow.
+var ErrDiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "errors must be consumed: no _ = discards, no bare continue/return on a live non-nil error, sentinels wrapped with %w",
+	Run:  runErrDiscipline,
+}
+
+// errNilness is the abstract nil-ness of one error variable on one path.
+type errNilness uint8
+
+const (
+	errMaybe  errNilness = iota // assigned, value unknown
+	errIsNil                    // known nil
+	errNonNil                   // known non-nil
+)
+
+type errFact struct {
+	nil3     errNilness
+	consumed bool
+}
+
+type errState map[*ast.Object]errFact
+
+func (s errState) clone() flowState {
+	out := make(errState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s errState) joinFrom(o flowState) bool {
+	os := o.(errState)
+	changed := false
+	for k, ov := range os {
+		sv, ok := s[k]
+		if !ok {
+			s[k] = ov
+			changed = true
+			continue
+		}
+		nv := sv
+		if sv.nil3 != ov.nil3 {
+			nv.nil3 = errMaybe
+		}
+		nv.consumed = sv.consumed && ov.consumed
+		if nv != sv {
+			s[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// errVars is the flow-insensitive classification of a function's error
+// variables.
+type errVars struct {
+	strong   map[*ast.Object]bool // declared error / err-named
+	weak     map[*ast.Object]bool // final result of a multi-value call
+	compared map[*ast.Object]bool // ever compared against nil
+	exempt   map[*ast.Object]bool // if/switch-init scoped or strconv predicate
+}
+
+func (v errVars) tracked(o *ast.Object) bool { return v.strong[o] || v.weak[o] }
+
+// swallowable reports whether dropping o silently is worth flagging:
+// strong error variables always, weak ones only once a nil comparison
+// gave evidence they hold an error; predicate-style errors never.
+func (v errVars) swallowable(o *ast.Object) bool {
+	if v.exempt[o] {
+		return false
+	}
+	return v.strong[o] || (v.weak[o] && v.compared[o])
+}
+
+func errName(n string) bool {
+	l := strings.ToLower(n)
+	return l == "err" || l == "error" || strings.HasPrefix(l, "err") || strings.HasSuffix(l, "err")
+}
+
+// sentinelName matches exported/package error sentinels: ErrNotFound,
+// errBadState.
+func sentinelName(n string) bool {
+	return (strings.HasPrefix(n, "Err") || strings.HasPrefix(n, "err")) &&
+		len(n) > 3 && n[3] >= 'A' && n[3] <= 'Z'
+}
+
+func collectErrVars(body *ast.BlockStmt, strconvNames map[string]bool) errVars {
+	v := errVars{
+		strong:   map[*ast.Object]bool{},
+		weak:     map[*ast.Object]bool{},
+		compared: map[*ast.Object]bool{},
+		exempt:   map[*ast.Object]bool{},
+	}
+	markInitScoped := func(init ast.Stmt) {
+		as, ok := init.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Obj != nil {
+				v.exempt[id.Obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				markInitScoped(n.Init)
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				markInitScoped(n.Init)
+			}
+		case *ast.ValueSpec:
+			if id, ok := n.Type.(*ast.Ident); ok && id.Name == "error" {
+				for _, name := range n.Names {
+					if name.Obj != nil {
+						v.strong[name.Obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			isCall, isParse := len(n.Rhs) == 1, false
+			if isCall {
+				var call *ast.CallExpr
+				call, isCall = n.Rhs[0].(*ast.CallExpr)
+				if isCall {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if base, ok := sel.X.(*ast.Ident); ok && strconvNames[base.Name] {
+							isParse = true
+						}
+					}
+				}
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Obj == nil {
+					continue
+				}
+				switch {
+				case errName(id.Name):
+					v.strong[id.Obj] = true
+				case isCall && len(n.Lhs) >= 2 && i == len(n.Lhs)-1:
+					v.weak[id.Obj] = true
+				}
+				if isParse {
+					v.exempt[id.Obj] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if x, _, ok := nilComparison(n); ok {
+				if id, ok := x.(*ast.Ident); ok && id.Obj != nil {
+					v.compared[id.Obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return v
+}
+
+// isBlankDiscard decodes `_ = x` returning x's object.
+func isBlankDiscard(n ast.Node) (*ast.Object, *ast.Ident) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name != "_" {
+		return nil, nil
+	}
+	rhs, ok := as.Rhs[0].(*ast.Ident)
+	if !ok || rhs.Obj == nil {
+		return nil, nil
+	}
+	return rhs.Obj, rhs
+}
+
+// scanErrUses marks tracked variables consumed wherever they appear
+// outside a nil comparison and outside their own (re)definition. Nested
+// closure bodies count: capturing an error is consuming it.
+func scanErrUses(st errState, vars errVars, n ast.Node) {
+	var walk func(e ast.Node)
+	walk = func(e ast.Node) {
+		ast.Inspect(e, func(nn ast.Node) bool {
+			if cmpX, _, ok := nilComparisonNode(nn); ok {
+				// Descend only into the non-nil side's *subexpressions* if
+				// it is not a bare tracked ident: `f(err) != nil` still
+				// consumes err.
+				if id, isIdent := cmpX.(*ast.Ident); isIdent && id.Obj != nil && vars.tracked(id.Obj) {
+					return false
+				}
+				return true
+			}
+			if id, ok := nn.(*ast.Ident); ok && id.Obj != nil && vars.tracked(id.Obj) {
+				if f, live := st[id.Obj]; live {
+					f.consumed = true
+					st[id.Obj] = f
+				} else {
+					st[id.Obj] = errFact{nil3: errMaybe, consumed: true}
+				}
+			}
+			return true
+		})
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		// LHS identifiers are definitions, not uses; index/selector
+		// targets still use their bases.
+		for _, l := range s.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				walk(l)
+			}
+		}
+		for _, r := range s.Rhs {
+			walk(r)
+		}
+	default:
+		walk(n)
+	}
+}
+
+// nodeHasCall reports whether n contains a call outside nested closures.
+func nodeHasCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch nn.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nilComparisonNode is nilComparison over a generic node.
+func nilComparisonNode(n ast.Node) (ast.Expr, bool, bool) {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		return nil, false, false
+	}
+	return nilComparison(e)
+}
+
+// errTransfer applies definitions after uses: `err = f()` consumes
+// nothing and resets the fact.
+func errTransfer(vars errVars) func(flowState, ast.Node) {
+	return func(fs flowState, n ast.Node) {
+		st := fs.(errState)
+		if obj, _ := isBlankDiscard(n); obj != nil && vars.tracked(obj) {
+			// The discard is reported by the walk; treat as consumed so
+			// one bad line yields one finding.
+			f := st[obj]
+			f.consumed = true
+			st[obj] = f
+			return
+		}
+		scanErrUses(st, vars, n)
+		// A call made while an error is known non-nil is a reaction to the
+		// failure (retry, counter, log): every live error is considered
+		// handled past it. The swallows this analyzer exists for — bare
+		// `if err != nil { continue }` — do nothing at all.
+		if nodeHasCall(n) {
+			for obj, f := range st {
+				if f.nil3 == errNonNil && !f.consumed {
+					f.consumed = true
+					st[obj] = f
+				}
+			}
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			oneToOne := len(s.Lhs) == len(s.Rhs)
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Obj == nil || !vars.tracked(id.Obj) {
+					continue
+				}
+				f := errFact{nil3: errMaybe}
+				if oneToOne && isNilIdent(s.Rhs[i]) {
+					f.nil3 = errIsNil
+				}
+				st[id.Obj] = f
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Obj == nil || !vars.tracked(name.Obj) {
+						continue
+					}
+					f := errFact{nil3: errMaybe}
+					if len(vs.Values) == 0 {
+						f.nil3 = errIsNil // zero value of error is nil
+					} else if i < len(vs.Values) && isNilIdent(vs.Values[i]) {
+						f.nil3 = errIsNil
+					}
+					st[name.Obj] = f
+				}
+			}
+		}
+	}
+}
+
+// errRefine narrows nil-ness along conditional edges and treats calls in
+// the condition (errors.Is(err, …)) as consumption.
+func errRefine(vars errVars) func(flowState, ast.Expr, bool) {
+	var apply func(st errState, cond ast.Expr, branch bool)
+	apply = func(st errState, cond ast.Expr, branch bool) {
+		switch e := cond.(type) {
+		case *ast.ParenExpr:
+			apply(st, e.X, branch)
+			return
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				apply(st, e.X, !branch)
+			}
+			return
+		case *ast.BinaryExpr:
+			if (e.Op == token.LAND && branch) || (e.Op == token.LOR && !branch) {
+				apply(st, e.X, branch)
+				apply(st, e.Y, branch)
+				return
+			}
+		}
+		if x, isEq, ok := nilComparison(cond); ok {
+			id, isIdent := x.(*ast.Ident)
+			if !isIdent || id.Obj == nil || !vars.tracked(id.Obj) {
+				return
+			}
+			f := st[id.Obj]
+			if isEq == branch { // (x == nil) true, or (x != nil) false
+				f.nil3 = errIsNil
+			} else {
+				f.nil3 = errNonNil
+			}
+			st[id.Obj] = f
+		}
+	}
+	return func(fs flowState, cond ast.Expr, branch bool) {
+		st := fs.(errState)
+		// Any mention of a tracked error in the condition other than a
+		// bare nil comparison consumes it: errors.Is(err, …),
+		// err == flag.ErrHelp, f(err) — all of them inspect the value.
+		scanErrUses(st, vars, cond)
+		apply(st, cond, branch)
+	}
+}
+
+func runErrDiscipline(pass *Pass) {
+	fmtNames := importLocalNames(pass.File.AST, "fmt")
+	strconvNames := importLocalNames(pass.File.AST, "strconv")
+	funcBodies(pass.File.AST, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		analyzeErrBody(pass, fmtNames, strconvNames, body)
+	})
+}
+
+func analyzeErrBody(pass *Pass, fmtNames, strconvNames map[string]bool, body *ast.BlockStmt) {
+	vars := collectErrVars(body, strconvNames)
+	g := buildCFG(body)
+	transfer := errTransfer(vars)
+	in := g.solve(errState{}, flowFuncs{transfer: transfer, refine: errRefine(vars)})
+
+	for _, blk := range g.blocks {
+		entry, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		st := entry.clone().(errState)
+		for _, n := range blk.nodes {
+			checkErrNode(pass, fmtNames, vars, st, n, body)
+			transfer(st, n)
+		}
+	}
+}
+
+// liveSwallowed lists variables whose error is known non-nil and
+// unconsumed at this point.
+func liveSwallowed(st errState, vars errVars) []*ast.Object {
+	var out []*ast.Object
+	for obj, f := range st {
+		if f.nil3 == errNonNil && !f.consumed && vars.swallowable(obj) {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+func checkErrNode(pass *Pass, fmtNames map[string]bool, vars errVars, st errState, n ast.Node, body *ast.BlockStmt) {
+	// Rule 1: `_ = err` discard.
+	if obj, id := isBlankDiscard(n); obj != nil && vars.strong[obj] {
+		if f, ok := st[obj]; ok && f.nil3 != errIsNil {
+			pass.Reportf(id, "error %s discarded with _ =; handle it, return it, or classify it with errors.Is", obj.Name)
+		}
+	}
+
+	// Rule 2: bare continue/break or value-free return on a live non-nil
+	// error path.
+	switch s := n.(type) {
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			for _, obj := range liveSwallowed(st, vars) {
+				pass.Reportf(s, "bare %s swallows non-nil error %s; wrap it, collect it, or classify the expected case with errors.Is",
+					s.Tok, obj.Name)
+			}
+		}
+	case *ast.ReturnStmt:
+		if returnConstructsValue(s) {
+			break
+		}
+		mentioned := map[*ast.Object]bool{}
+		for _, r := range s.Results {
+			ast.Inspect(r, func(nn ast.Node) bool {
+				if id, ok := nn.(*ast.Ident); ok && id.Obj != nil {
+					mentioned[id.Obj] = true
+				}
+				return true
+			})
+		}
+		for _, obj := range liveSwallowed(st, vars) {
+			if !mentioned[obj] {
+				pass.Reportf(s, "return drops non-nil error %s on the floor; return it, wrap it with %%w, or handle it first", obj.Name)
+			}
+		}
+	}
+
+	// Rule 3: fmt.Errorf of a sentinel or live error without %w.
+	ast.Inspect(n, func(nn ast.Node) bool {
+		call, ok := nn.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Errorf" {
+			return true
+		}
+		if base, ok := sel.X.(*ast.Ident); !ok || !fmtNames[base.Name] {
+			return true
+		}
+		format, ok := pass.File.StringConst(call.Args[0])
+		if !ok || strings.Contains(format, "%w") {
+			return true
+		}
+		for _, a := range call.Args[1:] {
+			name, isErrArg := "", false
+			switch arg := a.(type) {
+			case *ast.Ident:
+				name = arg.Name
+				isErrArg = sentinelName(name) || (arg.Obj != nil && vars.strong[arg.Obj])
+			case *ast.SelectorExpr:
+				name = selectorPath(arg)
+				isErrArg = sentinelName(arg.Sel.Name)
+			}
+			if isErrArg {
+				pass.Reportf(call, "fmt.Errorf formats error %s without %%w; errors.Is callers cannot match the sentinel", name)
+			}
+		}
+		return true
+	})
+}
+
+// returnConstructsValue reports whether any result builds a new value (a
+// call, composite literal, or &composite): returning a freshly
+// constructed error or aggregate counts as handling the path.
+func returnConstructsValue(s *ast.ReturnStmt) bool {
+	for _, r := range s.Results {
+		found := false
+		ast.Inspect(r, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.CallExpr, *ast.CompositeLit:
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

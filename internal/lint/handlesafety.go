@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SlabPackages are the packages holding slab-backed state (internal/slab
+// consumers). The slab contract (PR 4/6): a pointer from Get/Alloc is
+// valid only until the slot can be recycled — any code that runs "later"
+// (a deferred or scheduled closure, or after dispatching other events)
+// must re-resolve the generation-checked handle, never reuse the pointer.
+var SlabPackages = map[string]bool{
+	"internal/core":     true,
+	"internal/cloudsim": true,
+}
+
+// HandleSafety flags the two ways a recycled slot gets dereferenced:
+//
+//  1. a closure that runs later — deferred, spawned with go, or handed to
+//     a scheduler At/After — capturing a slab pointer from the enclosing
+//     function instead of capturing the handle and re-Getting inside;
+//  2. a slab pointer used after the function yields to the scheduler
+//     (Step/Run/RunUntil dispatches arbitrary events, which may free and
+//     recycle the slot), tracked path-sensitively over the CFG.
+//
+// Slab pointers are recognized syntactically: results of .Get/.Alloc on a
+// receiver whose name contains "slab" (c.vmSlab, p.instSlab), and of
+// package functions that merely wrap such a call (lookupVM, lookupInst).
+var HandleSafety = &Analyzer{
+	Name: "handlesafety",
+	Doc:  "slab pointers must not outlive their event: revalidate handles in deferred/scheduled closures and after scheduler yields",
+	Run:  runHandleSafety,
+}
+
+type slabFact uint8
+
+const (
+	slabLive slabFact = iota + 1
+	slabStale
+)
+
+type slabState map[*ast.Object]slabFact
+
+func (s slabState) clone() flowState {
+	out := make(slabState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s slabState) joinFrom(o flowState) bool {
+	changed := false
+	for k, ov := range o.(slabState) {
+		sv, ok := s[k]
+		switch {
+		case !ok:
+			s[k] = ov
+			changed = true
+		case sv == slabLive && ov == slabStale:
+			s[k] = slabStale // stale on any path is stale
+			changed = true
+		}
+	}
+	return changed
+}
+
+// slabGetterCall reports whether call yields a slab pointer: x.Get(…) or
+// x.Alloc() with a slab-named receiver segment, or a call to a known
+// wrapper function.
+func slabGetterCall(call *ast.CallExpr, wrappers map[string]bool) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Get" || fun.Sel.Name == "Alloc" {
+			if path := selectorPath(fun.X); path != "" && pathContainsFold(path, "slab") {
+				return true
+			}
+		}
+		return wrappers[fun.Sel.Name]
+	case *ast.Ident:
+		return wrappers[fun.Name]
+	}
+	return false
+}
+
+// slabWrappers collects package functions whose body returns a slab
+// pointer directly — one-hop wrappers like lookupVM. Two passes resolve
+// wrappers of wrappers.
+func slabWrappers(pkg *Package) map[string]bool {
+	wrappers := map[string]bool{}
+	for pass := 0; pass < 2; pass++ {
+		for _, f := range pkg.Files {
+			if f.IsTest() {
+				continue
+			}
+			for _, d := range f.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || wrappers[fd.Name.Name] {
+					continue
+				}
+				for _, s := range fd.Body.List {
+					ret, ok := s.(*ast.ReturnStmt)
+					if !ok || len(ret.Results) != 1 {
+						continue
+					}
+					if call, ok := ret.Results[0].(*ast.CallExpr); ok && slabGetterCall(call, wrappers) {
+						wrappers[fd.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return wrappers
+}
+
+// isSchedulerYield reports whether the node calls Step/Run/RunUntil on a
+// scheduler-named receiver — dispatching events that may recycle slots.
+func isSchedulerYield(n ast.Node) bool {
+	yield := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Step", "Run", "RunUntil":
+			if path := selectorPath(sel.X); path != "" && pathContainsFold(path, "sched") {
+				yield = true
+			}
+		}
+		return !yield
+	})
+	return yield
+}
+
+// deferredFuncLits yields every function literal in n that runs after the
+// current event: deferred, spawned with go, or passed to a scheduler
+// At/After call.
+func deferredFuncLits(body *ast.BlockStmt, visit func(lit *ast.FuncLit, how string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				visit(lit, "deferred")
+			}
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				visit(lit, "go")
+			}
+		case *ast.CallExpr:
+			sel, ok := s.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			isSched := sel.Sel.Name == "At" || sel.Sel.Name == "After"
+			if !isSched {
+				if path := selectorPath(sel.X); path != "" && pathContainsFold(path, "sched") {
+					isSched = true
+				}
+			}
+			if !isSched {
+				return true
+			}
+			for _, a := range s.Args {
+				if lit, ok := a.(*ast.FuncLit); ok {
+					visit(lit, "scheduled")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func runHandleSafety(pass *Pass) {
+	if !SlabPackages[pass.File.Pkg.Rel] {
+		return
+	}
+	wrappers := slabWrappers(pass.File.Pkg)
+	funcBodies(pass.File.AST, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		analyzeSlabBody(pass, wrappers, body)
+	})
+}
+
+// slabDefs collects, flow-insensitively, every object in body ever
+// assigned from a slab getter (excluding nested function literals — those
+// are analyzed as their own bodies).
+func slabDefs(body *ast.BlockStmt, wrappers map[string]bool) map[*ast.Object]bool {
+	defs := map[*ast.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !slabGetterCall(call, wrappers) {
+			return true
+		}
+		// Get yields one pointer; Alloc yields (ptr, handle) — the
+		// pointer is the first LHS either way.
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Obj != nil {
+			defs[id.Obj] = true
+		}
+		return true
+	})
+	return defs
+}
+
+func analyzeSlabBody(pass *Pass, wrappers map[string]bool, body *ast.BlockStmt) {
+	defs := slabDefs(body, wrappers)
+
+	// Rule 1: capture by later-running closures.
+	if len(defs) > 0 {
+		deferredFuncLits(body, func(lit *ast.FuncLit, how string) {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if ok && id.Obj != nil && defs[id.Obj] {
+					pass.Reportf(id, "%s closure captures slab pointer %s; capture the handle and revalidate with Get inside the closure (slot may be recycled)",
+						how, id.Name)
+				}
+				return true
+			})
+		})
+	}
+
+	if len(defs) == 0 {
+		return
+	}
+
+	// Rule 2: use after a scheduler yield, path-sensitive.
+	transfer := func(fs flowState, n ast.Node) {
+		st := fs.(slabState)
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && slabGetterCall(call, wrappers) {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Obj != nil {
+					st[id.Obj] = slabLive
+					return
+				}
+			}
+			// Reassignment from anything else stops tracking.
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Obj != nil {
+					delete(st, id.Obj)
+				}
+			}
+		}
+		if isSchedulerYield(n) {
+			for obj, f := range st {
+				if f == slabLive {
+					st[obj] = slabStale
+				}
+			}
+		}
+	}
+	g := buildCFG(body)
+	in := g.solve(slabState{}, flowFuncs{transfer: transfer})
+	for _, blk := range g.blocks {
+		entry, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		st := entry.clone().(slabState)
+		for _, n := range blk.nodes {
+			reportStaleUses(pass, st, n)
+			transfer(st, n)
+		}
+	}
+}
+
+// reportStaleUses flags references to stale slab pointers in n, skipping
+// nested closures (rule 1's territory) and assignment-target positions.
+func reportStaleUses(pass *Pass, st slabState, n ast.Node) {
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); isCall {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Obj != nil && st[id.Obj] != 0 {
+				// About to be overwritten; the transfer handles it.
+				rhs := as.Rhs[0]
+				reportStaleUsesExpr(pass, st, rhs)
+				return
+			}
+		}
+	}
+	reportStaleUsesExpr(pass, st, n)
+}
+
+func reportStaleUsesExpr(pass *Pass, st slabState, n ast.Node) {
+	reported := map[*ast.Object]bool{}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := nn.(*ast.Ident)
+		if !ok || id.Obj == nil || reported[id.Obj] {
+			return true
+		}
+		if st[id.Obj] == slabStale {
+			reported[id.Obj] = true
+			pass.Reportf(id, "slab pointer %s used after a scheduler yield; the slot may have been recycled — re-Get the handle", id.Name)
+			st[id.Obj] = slabLive // one finding per staleness, not per use
+		}
+		return true
+	})
+}

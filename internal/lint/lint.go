@@ -11,10 +11,13 @@ import (
 )
 
 // Finding is one analyzer hit: which check fired, where, and why.
+// Suppressed is set (by RunDetailed) on findings covered by a
+// //lint:ignore directive; Run drops them.
 type Finding struct {
-	Check   string
-	Pos     token.Position
-	Message string
+	Check      string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -151,13 +154,31 @@ func (p *Pass) Reportf(node ast.Node, format string, args ...any) {
 // placed on the flagged line or the line directly above it.
 const IgnoreDirective = "//lint:ignore"
 
-// suppressions maps line -> check -> true for one file.
-type suppressions map[int]map[string]bool
+// directive is one parsed //lint:ignore comment. used flips when a
+// finding of its check lands on a line it covers.
+type directive struct {
+	check string
+	pos   token.Position
+	used  bool
+}
+
+// suppressions maps line -> directives on that line for one file.
+type suppressions map[int][]*directive
 
 // covers reports whether a finding of check at line is suppressed by a
-// directive on the same line or the line immediately above.
+// directive on the same line or the line immediately above, marking any
+// matching directive used.
 func (s suppressions) covers(check string, line int) bool {
-	return s[line][check] || s[line-1][check]
+	hit := false
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range s[l] {
+			if d.check == check {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
 }
 
 // parseSuppressions scans a file's comments for ignore directives. A
@@ -181,39 +202,87 @@ func parseSuppressions(f *File) (suppressions, []Finding) {
 				})
 				continue
 			}
-			line := f.Fset.Position(c.Pos()).Line
-			if sup[line] == nil {
-				sup[line] = map[string]bool{}
-			}
-			sup[line][fields[0]] = true
+			pos := f.Fset.Position(c.Pos())
+			sup[pos.Line] = append(sup[pos.Line], &directive{check: fields[0], pos: pos})
 		}
 	}
 	return sup, bad
 }
 
-// Run applies the analyzers to every non-test file of every package,
-// filters findings through //lint:ignore directives, and returns the
-// survivors sorted by position.
-func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
+// RunDetailed applies the analyzers to every non-test file of every
+// package and returns all findings sorted by position, with suppressed
+// ones kept and marked rather than dropped. It also audits the
+// directives themselves: a //lint:ignore naming a check that is not in
+// the suite at all, or naming a check that ran but suppressed nothing,
+// is dead weight that would silently mask a future refactor — each is
+// reported as a "lint" finding. Directives for known checks outside the
+// requested subset are left alone (a narrowed -checks run cannot judge
+// them).
+func RunDetailed(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			sup, bad := parseSuppressions(f)
 			out = append(out, bad...)
-			if f.IsTest() {
-				continue
-			}
-			for _, a := range analyzers {
-				var raw []Finding
-				a.Run(&Pass{File: f, check: a.Name, findings: &raw})
-				for _, fd := range raw {
-					if !sup.covers(a.Name, fd.Pos.Line) {
+			if !f.IsTest() {
+				for _, a := range analyzers {
+					var raw []Finding
+					a.Run(&Pass{File: f, check: a.Name, findings: &raw})
+					for _, fd := range raw {
+						fd.Suppressed = sup.covers(a.Name, fd.Pos.Line)
 						out = append(out, fd)
+					}
+				}
+			}
+			for _, ds := range sup {
+				for _, d := range ds {
+					switch {
+					case d.used:
+					case !known[d.check]:
+						out = append(out, Finding{
+							Check:   "lint",
+							Pos:     d.pos,
+							Message: fmt.Sprintf("directive names unknown check %q (have %s)", d.check, strings.Join(Names(), ", ")),
+						})
+					case ran[d.check]:
+						out = append(out, Finding{
+							Check:   "lint",
+							Pos:     d.pos,
+							Message: fmt.Sprintf("unused suppression: no %s finding on this or the next line", d.check),
+						})
 					}
 				}
 			}
 		}
 	}
+	sortFindings(out)
+	return out
+}
+
+// Run applies the analyzers to every non-test file of every package,
+// filters findings through //lint:ignore directives, and returns the
+// survivors sorted by position. Unused or unknown-check directives
+// survive as "lint" findings — suppressions are part of the ratchet.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	all := RunDetailed(analyzers, pkgs)
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -227,12 +296,14 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return out
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MetricHygiene, PanicDiscipline, Goroutines, TraceCopy}
+	return []*Analyzer{
+		Determinism, MetricHygiene, PanicDiscipline, Goroutines, TraceCopy,
+		ErrDiscipline, DurAcc, HandleSafety, LockDiscipline,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

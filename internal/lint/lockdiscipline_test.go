@@ -1,0 +1,107 @@
+package lint
+
+import "testing"
+
+const lockFixtureHeader = `package obs
+
+import "sync"
+
+type ring struct {
+	mu  sync.Mutex
+	buf []int // guarded by mu
+	n   int   // guarded by mu
+	cap int   // immutable
+}
+`
+
+func TestLockDisciplineUnlockedRead(t *testing.T) {
+	src := lockFixtureHeader + `
+func (r *ring) len() int { return r.n }
+`
+	got := runOne(t, LockDiscipline, "internal/obs", src)
+	wantFindings(t, got, "field r.n is guarded by mu")
+}
+
+func TestLockDisciplineLockedAccessClean(t *testing.T) {
+	src := lockFixtureHeader + `
+func (r *ring) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func (r *ring) capacity() int { return r.cap }
+`
+	wantFindings(t, runOne(t, LockDiscipline, "internal/obs", src))
+}
+
+// After an explicit Unlock the guard is gone: later accesses on the same
+// path are flagged.
+func TestLockDisciplineAccessAfterUnlock(t *testing.T) {
+	src := lockFixtureHeader + `
+func (r *ring) drain() int {
+	r.mu.Lock()
+	n := r.n
+	r.mu.Unlock()
+	return n + len(r.buf)
+}
+`
+	got := runOne(t, LockDiscipline, "internal/obs", src)
+	wantFindings(t, got, "field r.buf is guarded by mu")
+}
+
+// The must-hold set is the intersection over joining paths: a branch
+// that locks on only one arm does not protect the code after the join.
+func TestLockDisciplineJoinIntersection(t *testing.T) {
+	src := lockFixtureHeader + `
+func (r *ring) maybe(lock bool) int {
+	if lock {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	return r.n
+}
+`
+	got := runOne(t, LockDiscipline, "internal/obs", src)
+	wantFindings(t, got, "field r.n is guarded by mu")
+}
+
+// RWMutex read paths hold RLock; that satisfies the guard.
+func TestLockDisciplineRLockClean(t *testing.T) {
+	src := `package obs
+
+import "sync"
+
+type reg struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *reg) get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *reg) lookupTwice(k string) int {
+	r.mu.RLock()
+	v := r.m[k]
+	r.mu.RUnlock()
+	r.mu.Lock()
+	v += r.m[k]
+	r.mu.Unlock()
+	return v
+}
+`
+	wantFindings(t, runOne(t, LockDiscipline, "internal/obs", src))
+}
+
+func TestLockDisciplineSuppressed(t *testing.T) {
+	src := lockFixtureHeader + `
+func (r *ring) len() int {
+	//lint:ignore lockdiscipline fixture: constructor-only path
+	return r.n
+}
+`
+	wantFindings(t, runOne(t, LockDiscipline, "internal/obs", src))
+}

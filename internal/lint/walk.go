@@ -2,13 +2,74 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
+
+// LoadError is a per-file failure from Load — an unparsable file or a
+// malformed build constraint. Callers (cmd/spotlint) distinguish it from
+// findings: a LoadError is a broken tree, not a lint violation, and maps
+// to exit code 2 with the offending path.
+type LoadError struct {
+	Path string // filesystem path of the file that failed
+	Err  error
+}
+
+func (e *LoadError) Error() string { return fmt.Sprintf("lint: %s: %v", e.Path, e.Err) }
+func (e *LoadError) Unwrap() error { return e.Err }
+
+// buildTagSatisfied evaluates one //go:build tag the way `go build`
+// would on this platform: GOOS, GOARCH, the "unix" umbrella, and any
+// go1.N release tag (the toolchain that builds this module satisfies
+// them all). Everything else — custom tags, "ignore" — is false, so
+// tagged-out files are skipped exactly like the go tool skips them.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix":
+			return true
+		}
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// fileIncluded decides whether a parsed file belongs in the package:
+// generated files are skipped outright, and a //go:build line before the
+// package clause is evaluated against the current platform. A
+// constraint that fails to parse is a *LoadError.
+func fileIncluded(path string, fset *token.FileSet, astf *ast.File) (bool, error) {
+	if ast.IsGenerated(astf) {
+		return false, nil
+	}
+	for _, cg := range astf.Comments {
+		if cg.Pos() >= astf.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false, &LoadError{Path: path, Err: fmt.Errorf("bad build constraint %q: %w", c.Text, err)}
+			}
+			if !expr.Eval(buildTagSatisfied) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
 
 // FindModuleRoot walks up from dir to the nearest directory containing
 // go.mod.
@@ -46,7 +107,10 @@ func moduleName(root string) (string, error) {
 // Load parses the packages selected by patterns under the module root.
 // Patterns follow the go tool's shape: "./..." (the default), "./dir/..."
 // for a subtree, or "./dir" for a single package. Directories named
-// testdata or vendor and hidden/underscore directories are skipped.
+// testdata or vendor and hidden/underscore directories are skipped, as
+// are generated files and files excluded by a //go:build constraint on
+// this platform. Unparsable files and malformed constraints come back
+// as *LoadError.
 func Load(root string, patterns []string) ([]*Package, error) {
 	mod, err := moduleName(root)
 	if err != nil {
@@ -126,7 +190,12 @@ func Load(root string, patterns []string) ([]*Package, error) {
 			path := filepath.Join(dir, e.Name())
 			astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("lint: %w", err)
+				return nil, &LoadError{Path: path, Err: err}
+			}
+			if ok, err := fileIncluded(path, fset, astf); err != nil {
+				return nil, err
+			} else if !ok {
+				continue
 			}
 			if pkg == nil {
 				importPath := mod

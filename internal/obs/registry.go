@@ -166,7 +166,7 @@ type family struct {
 	help   string
 	bounds []float64 // histograms only; fixed at first registration
 	mu     sync.Mutex
-	series map[string]*series // interned by label signature
+	series map[string]*series // interned by label signature; guarded by mu
 }
 
 // Registry interns metric families and their labelled series. All methods
@@ -174,9 +174,9 @@ type family struct {
 // should resolve once and keep the returned pointer.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
-	order    []string          // registration order, for stable iteration
-	pending  map[string]string // help text described before registration
+	families map[string]*family // guarded by mu
+	order    []string           // registration order, for stable iteration; guarded by mu
+	pending  map[string]string  // help text described before registration; guarded by mu
 }
 
 // NewRegistry returns an empty registry.

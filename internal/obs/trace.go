@@ -24,10 +24,10 @@ type TraceEvent struct {
 // methods are safe for concurrent use.
 type Trace struct {
 	mu    sync.Mutex
-	buf   []TraceEvent
-	start int    // index of the oldest entry
-	n     int    // live entries
-	seq   uint64 // next sequence number
+	buf   []TraceEvent // guarded by mu
+	start int          // index of the oldest entry; guarded by mu
+	n     int          // live entries; guarded by mu
+	seq   uint64       // next sequence number; guarded by mu
 }
 
 // DefaultTraceCap bounds trace memory when callers don't choose a size.
@@ -77,8 +77,14 @@ func (t *Trace) Len() int {
 	return t.n
 }
 
-// Cap reports the ring capacity.
-func (t *Trace) Cap() int { return len(t.buf) }
+// Cap reports the ring capacity. The buffer is never resized after
+// construction, but the slice header is still read under the lock so the
+// race detector (and lockdiscipline) see a single consistent protocol.
+func (t *Trace) Cap() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
 
 // Total reports how many events were ever appended.
 func (t *Trace) Total() uint64 {

@@ -55,7 +55,7 @@ func ReadAWSPriceHistory(r io.Reader, start time.Time) (Set, error) {
 		}
 		at, err := time.Parse(time.RFC3339, rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("spotmarket: aws history line %d: bad timestamp %q: %v", line, rec[0], err)
+			return nil, fmt.Errorf("spotmarket: aws history line %d: bad timestamp %q: %w", line, rec[0], err)
 		}
 		price, err := strconv.ParseFloat(rec[3], 64)
 		if err != nil || price <= 0 {
