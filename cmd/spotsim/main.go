@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations|catalog|scale] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N] [-fleet N]
+//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations|catalog|scale|scenarios] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N] [-fleet N] [-scenarios names] [-scenario file.json]
 //
 // The simulations in a batch are fully independent, so spotsim fans them
 // out across the experiments sweep engine; -parallel bounds the worker
@@ -22,6 +22,15 @@
 // full horizon and reports ns per simulated VM-hour and bytes per VM.
 // -fleet N replaces the ladder with a single rung of N VMs.
 //
+// The scenarios experiment (docs/EXPERIMENTS.md, "Scenario library") runs
+// the declarative scenario campaigns of internal/scenario — diurnal
+// arrivals, coordinated revocation storms, price wars, a degraded control
+// plane and CSV trace replay — and prints the availability/cost SLO report.
+// Like scale it runs only when asked for by name: its cells carry their own
+// fleet sizes and horizons, so the global -vms/-months knobs do not apply.
+// -scenarios picks a comma-separated subset of the library; -scenario runs
+// a single JSON spec file instead of the library.
+//
 // The -metrics flag additionally prints the headline simulation's
 // end-of-run observability snapshot (every spotcheck_* and spotcheck_cloudsim_*
 // series) as an aligned table.
@@ -32,23 +41,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/simkit"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations, catalog, scale")
-	metrics := flag.Bool("metrics", false, "print the headline run's metrics snapshot")
-	vms := flag.Int("vms", 40, "nested VM fleet size")
-	months := flag.Float64("months", 6, "simulation horizon in months")
-	seed := flag.Int64("seed", 42, "simulation seed")
-	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
-	fleet := flag.Int("fleet", 0, "scale experiment fleet size (0 = the 1k/10k/100k ladder)")
+	opts := runOpts{}
+	flag.StringVar(&opts.exp, "exp", "all", "experiment: all, fig10, fig11, fig12, table3, headline, ablations, catalog, scale, scenarios")
+	flag.BoolVar(&opts.metrics, "metrics", false, "print the headline run's metrics snapshot")
+	flag.IntVar(&opts.vms, "vms", 40, "nested VM fleet size")
+	flag.Float64Var(&opts.months, "months", 6, "simulation horizon in months")
+	flag.Int64Var(&opts.seed, "seed", 42, "simulation seed")
+	flag.IntVar(&opts.parallel, "parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&opts.fleet, "fleet", 0, "scale experiment fleet size (0 = the 1k/10k/100k ladder)")
+	flag.StringVar(&opts.scenarios, "scenarios", "", "comma-separated library subset for -exp scenarios (empty = whole library)")
+	flag.StringVar(&opts.scenarioFile, "scenario", "", "JSON scenario spec file to run instead of the library")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *vms, *months, *seed, *metrics, *parallel, *fleet); err != nil {
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "spotsim:", err)
 		os.Exit(1)
 	}
@@ -65,18 +79,38 @@ var knownExperiments = map[string]bool{
 	"ablations": true,
 	"catalog":   true,
 	"scale":     true,
+	"scenarios": true,
 }
 
-func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics bool, parallel, fleet int) error {
+// runOpts carries every flag; the zero value of the optional fields matches
+// the flag defaults tests rely on.
+type runOpts struct {
+	exp          string
+	vms          int
+	months       float64
+	seed         int64
+	metrics      bool
+	parallel     int
+	fleet        int
+	scenarios    string // comma-separated library subset
+	scenarioFile string // JSON spec path
+}
+
+func run(w io.Writer, o runOpts) error {
+	exp, vms, months, seed, metrics, parallel, fleet :=
+		o.exp, o.vms, o.months, o.seed, o.metrics, o.parallel, o.fleet
 	// Validate up front: an unknown -exp must error even when -metrics (or
 	// any other output) would otherwise produce something.
 	if !knownExperiments[exp] {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	horizon := simkit.Time(float64(30*simkit.Day) * months)
-	// The scale ladder tops out at 100k VMs, so it never rides along with
-	// "all"; it runs only when asked for by name.
-	want := func(f string) bool { return exp == f || (exp == "all" && f != "scale") }
+	// The scale ladder tops out at 100k VMs and the scenario cells size
+	// themselves, so neither rides along with "all"; they run only when
+	// asked for by name.
+	want := func(f string) bool {
+		return exp == f || (exp == "all" && f != "scale" && f != "scenarios")
+	}
 
 	needMatrix := want("fig10") || want("fig11") || want("fig12")
 	if needMatrix {
@@ -158,5 +192,49 @@ func run(w io.Writer, exp string, vms int, months float64, seed int64, metrics b
 		fmt.Fprint(w, experiments.ScaleTable(rows).String())
 		fmt.Fprintln(w)
 	}
+	if want("scenarios") {
+		specs, err := campaignSpecs(o)
+		if err != nil {
+			return err
+		}
+		names := make([]string, len(specs))
+		for i, s := range specs {
+			names[i] = s.Name
+		}
+		fmt.Fprintf(os.Stderr, "spotsim: running scenario campaigns %v...\n", names)
+		results, err := scenario.RunCampaign(specs, scenario.Options{Workers: parallel})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, scenario.CampaignTable(results).String())
+		fmt.Fprintln(w)
+	}
 	return nil
+}
+
+// campaignSpecs resolves which scenarios to run: a single spec file
+// (-scenario), a named library subset (-scenarios), or the whole library.
+func campaignSpecs(o runOpts) ([]scenario.Spec, error) {
+	if o.scenarioFile != "" {
+		if o.scenarios != "" {
+			return nil, fmt.Errorf("-scenario and -scenarios are mutually exclusive")
+		}
+		s, err := scenario.LoadSpec(o.scenarioFile)
+		if err != nil {
+			return nil, err
+		}
+		return []scenario.Spec{s}, nil
+	}
+	if o.scenarios == "" {
+		return scenario.Library(), nil
+	}
+	var specs []scenario.Spec
+	for _, name := range strings.Split(o.scenarios, ",") {
+		s, err := scenario.Named(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
 }

@@ -1,20 +1,22 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunHeadlineAndTable3(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "headline", 8, 0.5, 42, false, 1, 0); err != nil {
+	if err := run(&b, runOpts{exp: "headline", vms: 8, months: 0.5, seed: 42, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "savings:") {
 		t.Error("headline output missing")
 	}
 	b.Reset()
-	if err := run(&b, "table3", 8, 0.5, 42, false, 1, 0); err != nil {
+	if err := run(&b, runOpts{exp: "table3", vms: 8, months: 0.5, seed: 42, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Table 3") {
@@ -24,7 +26,7 @@ func TestRunHeadlineAndTable3(t *testing.T) {
 
 func TestRunFigures(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig11", 6, 0.5, 42, false, 1, 0); err != nil {
+	if err := run(&b, runOpts{exp: "fig11", vms: 6, months: 0.5, seed: 42, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -40,7 +42,7 @@ func TestRunFigures(t *testing.T) {
 // headline run's registry with live migration, revocation and flush series.
 func TestRunMetrics(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "headline", 8, 0.5, 42, true, 1, 0); err != nil {
+	if err := run(&b, runOpts{exp: "headline", vms: 8, months: 0.5, seed: 42, metrics: true, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -62,7 +64,7 @@ func TestRunMetrics(t *testing.T) {
 // TestRunMetricsOnly verifies -metrics works without a named experiment.
 func TestRunMetricsOnly(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig11", 6, 0.5, 42, true, 1, 0); err != nil {
+	if err := run(&b, runOpts{exp: "fig11", vms: 6, months: 0.5, seed: 42, metrics: true, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Metrics snapshot") {
@@ -74,7 +76,7 @@ func TestRunMetricsOnly(t *testing.T) {
 // render the capacity table, and scale must stay out of -exp all.
 func TestRunScale(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "scale", 40, 0.1, 42, false, 1, 60); err != nil {
+	if err := run(&b, runOpts{exp: "scale", vms: 40, months: 0.1, seed: 42, parallel: 1, fleet: 60}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -85,7 +87,7 @@ func TestRunScale(t *testing.T) {
 		t.Errorf("-fleet 60 rung missing from output:\n%s", out)
 	}
 	b.Reset()
-	if err := run(&b, "fig11", 6, 0.5, 42, false, 1, 0); err != nil {
+	if err := run(&b, runOpts{exp: "fig11", vms: 6, months: 0.5, seed: 42, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), "Fleet capacity") {
@@ -98,7 +100,7 @@ func TestRunScale(t *testing.T) {
 // cheapest-compatible acquisition.
 func TestRunCatalog(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "catalog", 4, 0.2, 42, false, 1, 0); err != nil {
+	if err := run(&b, runOpts{exp: "catalog", vms: 4, months: 0.2, seed: 42, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -114,7 +116,7 @@ func TestRunCatalog(t *testing.T) {
 
 func TestRunUnknown(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "nope", 8, 0.5, 42, false, 1, 0); err == nil {
+	if err := run(&b, runOpts{exp: "nope", vms: 8, months: 0.5, seed: 42, parallel: 1}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -124,7 +126,7 @@ func TestRunUnknown(t *testing.T) {
 // headline simulation instead of erroring on the typo.
 func TestRunUnknownWithMetrics(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "fig13", 8, 0.5, 42, true, 1, 0)
+	err := run(&b, runOpts{exp: "fig13", vms: 8, months: 0.5, seed: 42, metrics: true, parallel: 1})
 	if err == nil {
 		t.Fatal("unknown experiment accepted when -metrics is set")
 	}
@@ -140,14 +142,83 @@ func TestRunUnknownWithMetrics(t *testing.T) {
 // for a fixed seed regardless of the sweep worker count.
 func TestRunParallelMatchesSequential(t *testing.T) {
 	var seq, par strings.Builder
-	if err := run(&seq, "fig10", 6, 0.5, 42, false, 1, 0); err != nil {
+	if err := run(&seq, runOpts{exp: "fig10", vms: 6, months: 0.5, seed: 42, parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&par, "fig10", 6, 0.5, 42, false, 4, 0); err != nil {
+	if err := run(&par, runOpts{exp: "fig10", vms: 6, months: 0.5, seed: 42, parallel: 4}); err != nil {
 		t.Fatal(err)
 	}
 	if seq.String() != par.String() {
 		t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
 			seq.String(), par.String())
+	}
+}
+
+// TestRunScenarios exercises `-exp scenarios`: the full library renders one
+// SLO row per named scenario, and the campaign stays out of -exp all.
+func TestRunScenarios(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, runOpts{exp: "scenarios", parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SLO report") {
+		t.Fatalf("scenario report missing:\n%s", out)
+	}
+	for _, name := range []string{"diurnal", "storm", "price-war", "slow-api", "trace-replay"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scenario %s missing from report", name)
+		}
+	}
+	b.Reset()
+	if err := run(&b, runOpts{exp: "fig11", vms: 6, months: 0.5, seed: 42, parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "SLO report") {
+		t.Error("scenarios ran without being requested")
+	}
+}
+
+// TestRunScenariosSubset pins the -scenarios comma list (the CI smoke path).
+func TestRunScenariosSubset(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, runOpts{exp: "scenarios", scenarios: "storm, slow-api", parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{"storm", "slow-api"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scenario %s missing from subset report", name)
+		}
+	}
+	if strings.Contains(out, "price-war") {
+		t.Error("unrequested scenario ran")
+	}
+	if err := run(&b, runOpts{exp: "scenarios", scenarios: "maelstrom"}); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}
+
+// TestRunScenarioFile exercises the -scenario JSON loader end to end.
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "probe.json")
+	spec := `{"name":"probe","vms":6,"hours":48,"seed":7,"policy":"1P-M",
+		"arrival":{"shape":"burst","window_hours":6},
+		"faults":{"fail_prob":0.2,"extra_latency_seconds":20}}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, runOpts{exp: "scenarios", scenarioFile: path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "probe") {
+		t.Errorf("spec-file scenario missing from report:\n%s", b.String())
+	}
+	if err := run(&b, runOpts{exp: "scenarios", scenarioFile: path, scenarios: "storm"}); err == nil {
+		t.Error("-scenario and -scenarios accepted together")
+	}
+	if err := run(&b, runOpts{exp: "scenarios", scenarioFile: filepath.Join(t.TempDir(), "no.json")}); err == nil {
+		t.Error("missing spec file accepted")
 	}
 }

@@ -2,6 +2,7 @@ package cloudchaos_test
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/cloud"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/cloudtest"
 	"repro/internal/core"
 	"repro/internal/migration"
+	"repro/internal/obs"
 	"repro/internal/simkit"
 	"repro/internal/spotmarket"
 )
@@ -113,6 +115,208 @@ func TestChaosOrganicErrorsNotMarkedInjected(t *testing.T) {
 	}
 	if errors.Is(gotErr, cloudchaos.ErrInjected) {
 		t.Errorf("organic error carries ErrInjected: %v", gotErr)
+	}
+}
+
+// launchInstance runs one on-demand instance on the inner platform so the
+// attach/IP operations have a live target.
+func launchInstance(t *testing.T, sched *simkit.Scheduler, p *cloudsim.Platform) *cloud.Instance {
+	t.Helper()
+	var inst *cloud.Instance
+	p.RunOnDemand(cloud.M3Medium, "zone-a", func(i *cloud.Instance, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst = i
+	})
+	sched.Run(100)
+	if inst == nil {
+		t.Fatal("launch never completed")
+	}
+	return inst
+}
+
+// Regression: the package doc promises randomly failed asynchronous
+// operations, but until this test AttachVolume/DetachVolume/AssignIP/
+// UnassignIP could only be delayed, never failed. Each must now deliver an
+// injected failure wrapping ErrBadState (the platform's organic class for
+// attach/plumbing races) alongside the ErrInjected marker — and not
+// ErrCapacity, the launch class.
+func TestChaosInjectsAsyncOpFailures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		call func(t *testing.T, chaos *cloudchaos.Provider, sched *simkit.Scheduler, inner *cloudsim.Platform, cb cloud.Callback) error
+	}{
+		{"attach-volume", func(t *testing.T, chaos *cloudchaos.Provider, sched *simkit.Scheduler, inner *cloudsim.Platform, cb cloud.Callback) error {
+			inst := launchInstance(t, sched, inner)
+			vol, err := inner.CreateVolume(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return chaos.AttachVolume(vol.ID, inst.ID, cb)
+		}},
+		{"detach-volume", func(t *testing.T, chaos *cloudchaos.Provider, sched *simkit.Scheduler, inner *cloudsim.Platform, cb cloud.Callback) error {
+			inst := launchInstance(t, sched, inner)
+			vol, err := inner.CreateVolume(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inner.AttachVolume(vol.ID, inst.ID, nil); err != nil {
+				t.Fatal(err)
+			}
+			sched.Run(100)
+			return chaos.DetachVolume(vol.ID, cb)
+		}},
+		{"assign-ip", func(t *testing.T, chaos *cloudchaos.Provider, sched *simkit.Scheduler, inner *cloudsim.Platform, cb cloud.Callback) error {
+			inst := launchInstance(t, sched, inner)
+			addr, err := inner.AllocateIP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return chaos.AssignIP(inst.ID, addr, cb)
+		}},
+		{"unassign-ip", func(t *testing.T, chaos *cloudchaos.Provider, sched *simkit.Scheduler, inner *cloudsim.Platform, cb cloud.Callback) error {
+			inst := launchInstance(t, sched, inner)
+			addr, err := inner.AllocateIP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inner.AssignIP(inst.ID, addr, nil); err != nil {
+				t.Fatal(err)
+			}
+			sched.Run(100)
+			return chaos.UnassignIP(inst.ID, addr, cb)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, inner := flatPlatform(t)
+			chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{FailProb: 1, Seed: 3})
+			var gotErr error
+			calls := 0
+			syncErr := tc.call(t, chaos, sched, inner, func(err error) {
+				calls++
+				gotErr = err
+			})
+			if syncErr != nil {
+				t.Fatalf("synchronous error from injected op: %v", syncErr)
+			}
+			sched.Run(1000)
+			if calls != 1 {
+				t.Fatalf("callback fired %d times, want exactly once", calls)
+			}
+			if gotErr == nil {
+				t.Fatal("injected async op did not fail")
+			}
+			if !errors.Is(gotErr, cloudchaos.ErrInjected) {
+				t.Errorf("errors.Is(err, ErrInjected) = false for %v", gotErr)
+			}
+			if !errors.Is(gotErr, cloud.ErrBadState) {
+				t.Errorf("errors.Is(err, ErrBadState) = false for %v", gotErr)
+			}
+			if errors.Is(gotErr, cloud.ErrCapacity) {
+				t.Errorf("injected plumbing failure wraps the launch class ErrCapacity: %v", gotErr)
+			}
+			if chaos.Injected == 0 {
+				t.Error("Injected counter not bumped")
+			}
+		})
+	}
+}
+
+// With no fault drawn, the wrapped async ops stay transparent: organic
+// synchronous errors surface synchronously and no callback fires — exactly
+// one delivery per logical operation (the double-callback guard).
+func TestChaosAsyncOpSingleDelivery(t *testing.T) {
+	sched, inner := flatPlatform(t)
+
+	// FailProb 0: a bad volume ID errors synchronously, callback silent.
+	calm := cloudchaos.Wrap(inner, sched, cloudchaos.Config{Seed: 4})
+	calls := 0
+	err := calm.DetachVolume("vol-nope", func(error) { calls++ })
+	sched.Run(1000)
+	if err == nil {
+		t.Error("organic synchronous error swallowed")
+	} else if errors.Is(err, cloudchaos.ErrInjected) {
+		t.Errorf("organic error carries ErrInjected: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("callback fired %d times alongside a synchronous error", calls)
+	}
+
+	// FailProb 1: the same bad call is consumed by injection — the inner
+	// provider is never invoked, so the caller sees exactly one failure
+	// (the injected callback), never both.
+	chaotic := cloudchaos.Wrap(inner, sched, cloudchaos.Config{FailProb: 1, Seed: 4})
+	calls = 0
+	err = chaotic.DetachVolume("vol-nope", func(err error) {
+		calls++
+		if !errors.Is(err, cloudchaos.ErrInjected) {
+			t.Errorf("callback error = %v, want injected", err)
+		}
+	})
+	sched.Run(1000)
+	if err != nil {
+		t.Errorf("injected op also returned a synchronous error: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback fired %d times, want exactly once", calls)
+	}
+}
+
+// Regression: delay computed rng.Int63n(int64(ExtraLatency)+1), which
+// overflows to a negative bound and panics when ExtraLatency is MaxInt64.
+func TestChaosDelayOverflowClamped(t *testing.T) {
+	sched, inner := flatPlatform(t)
+	chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{
+		ExtraLatency: simkit.Time(math.MaxInt64),
+		Seed:         5,
+	})
+	fired := false
+	chaos.RunOnDemand(cloud.M3Medium, "zone-a", func(_ *cloud.Instance, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired = true
+	})
+	// Drawing the delay must not panic; the completion lands at whatever
+	// far-future instant was drawn.
+	sched.Run(1000)
+	if !fired {
+		t.Error("completion lost under maximal extra latency")
+	}
+}
+
+// Regression: injected faults were invisible to observability — only the
+// plain Injected int recorded them. With a registry configured, every
+// injection lands in spotcheck_chaos_injected_total labelled by operation.
+func TestChaosInjectedCounter(t *testing.T) {
+	sched, inner := flatPlatform(t)
+	reg := obs.NewRegistry()
+	chaos := cloudchaos.Wrap(inner, sched, cloudchaos.Config{FailProb: 1, Seed: 6, Metrics: reg})
+
+	chaos.RunOnDemand(cloud.M3Medium, "zone-a", func(*cloud.Instance, error) {})
+	chaos.RequestSpot(cloud.M3Medium, "zone-a", 0.10, func(*cloud.Instance, error) {})
+	inst := launchInstance(t, sched, inner)
+	addr, err := inner.AllocateIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.AssignIP(inst.ID, addr, nil); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(1000)
+
+	snap := reg.Snapshot()
+	for _, op := range []string{"run_on_demand", "request_spot", "assign_ip"} {
+		if v, ok := snap.Value("spotcheck_chaos_injected_total", obs.L("op", op)); !ok || v != 1 {
+			t.Errorf("spotcheck_chaos_injected_total{op=%q} = %v (present=%v), want 1", op, v, ok)
+		}
+	}
+	if got := reg.Total("spotcheck_chaos_injected_total"); got != 3 {
+		t.Errorf("total injected series sum = %v, want 3", got)
+	}
+	if chaos.Injected != 3 {
+		t.Errorf("Injected field = %d, want 3 (kept for compatibility)", chaos.Injected)
 	}
 }
 

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cloudchaos"
+	"repro/internal/migration"
+	"repro/internal/simkit"
+)
+
+// RunPolicy's Chaos knob must wrap the platform and route the injected-fault
+// counter through the run's shared registry, so campaigns can report how much
+// chaos actually fired straight from the result snapshot.
+func TestRunPolicyChaosWiring(t *testing.T) {
+	res, err := RunPolicy(PolicyRunConfig{
+		Policy:    NamedPolicyFactories()[0],
+		Mechanism: migration.SpotCheckLazy,
+		VMs:       8,
+		Horizon:   10 * simkit.Day,
+		Seed:      3,
+		Chaos: &cloudchaos.Config{
+			FailProb:     0.3,
+			ExtraLatency: 30 * simkit.Minute,
+			Seed:         7,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metric("spotcheck_chaos_injected_total"); got <= 0 {
+		t.Errorf("injected-fault counter = %v, want > 0 at FailProb 0.3", got)
+	}
+	if res.Report.Availability <= 0 || res.Report.Availability > 1 {
+		t.Errorf("availability under chaos = %v, want (0, 1]", res.Report.Availability)
+	}
+}
+
+// A zero-valued Chaos pointer must be a strict no-op relative to no chaos at
+// all: same RNG streams, same report, no chaos counter in the snapshot.
+func TestRunPolicyChaosZeroConfigIsNoOp(t *testing.T) {
+	base := PolicyRunConfig{
+		Policy:    NamedPolicyFactories()[1],
+		Mechanism: migration.SpotCheckLazy,
+		VMs:       8,
+		Horizon:   10 * simkit.Day,
+		Seed:      5,
+	}
+	plain, err := RunPolicy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := base
+	wrapped.Chaos = &cloudchaos.Config{}
+	chaotic, err := RunPolicy(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Report.TotalCost != chaotic.Report.TotalCost ||
+		plain.Report.Availability != chaotic.Report.Availability ||
+		plain.Report.Stats.Migrations != chaotic.Report.Stats.Migrations {
+		t.Errorf("zero chaos config changed the report:\n%+v\nvs\n%+v", plain.Report, chaotic.Report)
+	}
+	if got := chaotic.Metric("spotcheck_chaos_injected_total"); got != 0 {
+		t.Errorf("zero chaos config injected %v faults", got)
+	}
+}
+
+// ArrivalOffsets staggers fleet requests across the run and overrides VMs.
+func TestRunPolicyArrivalOffsets(t *testing.T) {
+	offsets := []simkit.Time{0, simkit.Hour, 2 * simkit.Hour, 3 * simkit.Hour, 12 * simkit.Hour, simkit.Day}
+	res, err := RunPolicy(PolicyRunConfig{
+		Policy:         NamedPolicyFactories()[0],
+		Mechanism:      migration.SpotCheckLazy,
+		VMs:            99, // overridden by the offsets below
+		Horizon:        10 * simkit.Day,
+		Seed:           11,
+		ArrivalOffsets: offsets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMs != len(offsets) {
+		t.Errorf("VMs = %d, want overridden to %d", res.VMs, len(offsets))
+	}
+	// Each VM accrues uptime only after it arrives, so staggering must cost
+	// aggregate VM-hours relative to an all-at-t=0 fleet of the same size.
+	flat, err := RunPolicy(PolicyRunConfig{
+		Policy:    NamedPolicyFactories()[0],
+		Mechanism: migration.SpotCheckLazy,
+		VMs:       len(offsets),
+		Horizon:   10 * simkit.Day,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.VMHours >= flat.Report.VMHours {
+		t.Errorf("staggered VM-hours %v >= flat %v, arrivals not delayed",
+			res.Report.VMHours, flat.Report.VMHours)
+	}
+}
+
+// CollectVMDowntimes surfaces each VM's downtime ledger, sorted, so the
+// scenario library can take percentiles without reaching into core.
+func TestRunPolicyCollectVMDowntimes(t *testing.T) {
+	res, err := RunPolicy(PolicyRunConfig{
+		Policy:             NamedPolicyFactories()[0],
+		Mechanism:          migration.SpotCheckLazy,
+		VMs:                8,
+		Horizon:            20 * simkit.Day,
+		Seed:               2,
+		CollectVMDowntimes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.VMDowntimes) != 8 {
+		t.Fatalf("got %d downtimes, want 8", len(res.VMDowntimes))
+	}
+	for i := 1; i < len(res.VMDowntimes); i++ {
+		if res.VMDowntimes[i-1] > res.VMDowntimes[i] {
+			t.Fatalf("downtimes not sorted: %v", res.VMDowntimes)
+		}
+	}
+	// Off by default.
+	plain, err := RunPolicy(PolicyRunConfig{
+		Policy:    NamedPolicyFactories()[0],
+		Mechanism: migration.SpotCheckLazy,
+		VMs:       8,
+		Horizon:   20 * simkit.Day,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.VMDowntimes != nil {
+		t.Error("VMDowntimes filled without CollectVMDowntimes")
+	}
+}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"runtime"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/cloud"
+	"repro/internal/cloudchaos"
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/migration"
@@ -80,6 +83,21 @@ type PolicyRunConfig struct {
 	// Workload selects the application profile (default workload.TPCW()).
 	Workload workload.Profile
 
+	// The next three knobs support the scenario library's chaos campaigns
+	// (internal/scenario); zero values leave the paper's runs untouched.
+	//
+	// Chaos, when set, wraps the platform in a cloudchaos.Provider with
+	// this fault configuration (the run's metrics registry is injected so
+	// spotcheck_chaos_injected_total lands in the result snapshot).
+	Chaos *cloudchaos.Config
+	// ArrivalOffsets schedules VM i's request at the given offset from
+	// the start of the run instead of requesting the whole fleet at t=0
+	// (a workload arrival curve). When non-empty it overrides VMs.
+	ArrivalOffsets []simkit.Time
+	// CollectVMDowntimes fills PolicyRunResult.VMDowntimes with each VM's
+	// total downtime, sorted ascending, for per-VM SLO percentiles.
+	CollectVMDowntimes bool
+
 	// FleetMode turns on every fleet-scale knob at once: pre-sized slabs
 	// and indexes on both sides (core.Config.ExpectedVMs, cloudsim
 	// ExpectedInstances), recycling of released VM state and terminated
@@ -113,6 +131,10 @@ type PolicyRunResult struct {
 	// revocations, predictive hits, backup fleet size, ...) are read from
 	// here rather than from private counters.
 	Snapshot *obs.Snapshot
+	// VMDowntimes holds each VM's total downtime sorted ascending when
+	// PolicyRunConfig.CollectVMDowntimes is set (nil otherwise). The
+	// scenario library derives p99-downtime SLO numbers from it.
+	VMDowntimes []simkit.Time
 	// WallNs and LiveHeapBytes are the capacity measurements taken when
 	// PolicyRunConfig.Clock is set (zero otherwise): wall-clock
 	// nanoseconds for fleet creation plus the event loop, and the
@@ -158,6 +180,9 @@ func (r PolicyRunResult) Migrations() int {
 
 // RunPolicy executes one policy × mechanism simulation.
 func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
+	if len(cfg.ArrivalOffsets) > 0 {
+		cfg.VMs = len(cfg.ArrivalOffsets)
+	}
 	if cfg.VMs == 0 {
 		cfg.VMs = 40
 	}
@@ -222,6 +247,13 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		return PolicyRunResult{}, err
 	}
 	coreCfg.Provider = plat
+	if cfg.Chaos != nil {
+		// The chaos wrapper shares the run's registry so injected-fault
+		// counts surface in the result snapshot next to everything else.
+		chaosCfg := *cfg.Chaos
+		chaosCfg.Metrics = reg
+		coreCfg.Provider = cloudchaos.Wrap(plat, sched, chaosCfg)
+	}
 	ctrl, err := core.New(coreCfg)
 	if err != nil {
 		return PolicyRunResult{}, err
@@ -230,16 +262,35 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 	if cfg.Clock != nil {
 		start = cfg.Clock()
 	}
-	for i := 0; i < cfg.VMs; i++ {
-		if _, err := ctrl.RequestServerWithOptions(core.ServerOptions{
+	// Request errors raised inside scheduled arrival events cannot return
+	// through the event loop; they are collected and joined after the run.
+	var arrivalErrs []error
+	request := func(i int) error {
+		_, err := ctrl.RequestServerWithOptions(core.ServerOptions{
 			Customer:  fmt.Sprintf("customer-%d", i%4),
 			Type:      cloud.M3Medium,
 			Stateless: cfg.Stateless,
-		}); err != nil {
+		})
+		return err
+	}
+	for i := 0; i < cfg.VMs; i++ {
+		if len(cfg.ArrivalOffsets) > 0 && cfg.ArrivalOffsets[i] > 0 {
+			i := i
+			sched.After(cfg.ArrivalOffsets[i], fmt.Sprintf("arrival vm-%d", i), func() {
+				if err := request(i); err != nil {
+					arrivalErrs = append(arrivalErrs, fmt.Errorf("arrival %d: %w", i, err))
+				}
+			})
+			continue
+		}
+		if err := request(i); err != nil {
 			return PolicyRunResult{}, err
 		}
 	}
 	sched.RunUntil(cfg.Horizon)
+	if len(arrivalErrs) > 0 {
+		return PolicyRunResult{}, errors.Join(arrivalErrs...)
+	}
 	res := PolicyRunResult{
 		Policy:    cfg.Policy.Name,
 		Mechanism: cfg.Mechanism,
@@ -247,6 +298,14 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		VMs:       cfg.VMs,
 		Horizon:   cfg.Horizon,
 		Snapshot:  reg.Snapshot(),
+	}
+	if cfg.CollectVMDowntimes {
+		for _, info := range ctrl.ListVMs() {
+			res.VMDowntimes = append(res.VMDowntimes, ctrl.DebugLedger(info.ID).Down)
+		}
+		sort.Slice(res.VMDowntimes, func(i, j int) bool {
+			return res.VMDowntimes[i] < res.VMDowntimes[j]
+		})
 	}
 	if cfg.Clock != nil {
 		res.WallNs = cfg.Clock() - start

@@ -17,6 +17,7 @@ var DeterministicPackages = map[string]bool{
 	"internal/experiments": true,
 	"internal/migration":   true,
 	"internal/nestedvm":    true,
+	"internal/scenario":    true,
 	"internal/simkit":      true,
 	"internal/spotmarket":  true,
 	"internal/workload":    true,

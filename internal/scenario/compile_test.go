@@ -1,0 +1,236 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/experiments"
+	"repro/internal/simkit"
+	"repro/internal/spotmarket"
+)
+
+func TestCompileDefaults(t *testing.T) {
+	rs, err := Compile(Spec{Name: "d", VMs: 4, Hours: 48, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ID != "d" {
+		t.Errorf("ID = %q", rs.ID)
+	}
+	if rs.Cfg.Policy.Name != "4P-ED" {
+		t.Errorf("default policy = %q, want 4P-ED", rs.Cfg.Policy.Name)
+	}
+	if rs.Cfg.Horizon != 48*simkit.Hour {
+		t.Errorf("horizon = %v", rs.Cfg.Horizon)
+	}
+	if !rs.Cfg.CollectVMDowntimes {
+		t.Error("scenario cells must collect per-VM downtimes")
+	}
+	if rs.Cfg.Chaos != nil {
+		t.Error("default spec grew a chaos config")
+	}
+	if rs.Cfg.ArrivalOffsets != nil {
+		t.Error("flat arrivals emitted offsets")
+	}
+	if rs.Cfg.Traces == nil {
+		t.Error("compile must generate explicit traces")
+	}
+	// Paper regime must equal the shared evaluation traces exactly, so a
+	// scenario's "paper" baseline is the baseline.
+	want, err := experiments.EvalTraces(48*simkit.Hour, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range want.Keys() {
+		got := rs.Cfg.Traces[k]
+		if got == nil || got.Len() != want[k].Len() {
+			t.Fatalf("paper regime diverged from EvalTraces at %v", k)
+		}
+	}
+}
+
+func TestCompileFaults(t *testing.T) {
+	rs, err := Compile(Spec{
+		Name: "f", VMs: 4, Hours: 24, Seed: 5,
+		Faults: Faults{FailProb: 0.2, ExtraLatencySeconds: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rs.Cfg.Chaos
+	if c == nil {
+		t.Fatal("no chaos config compiled")
+	}
+	if c.FailProb != 0.2 || c.ExtraLatency != 30*simkit.Second {
+		t.Errorf("chaos = %+v", c)
+	}
+	if c.Seed != 6 {
+		t.Errorf("chaos seed = %d, want spec seed + 1", c.Seed)
+	}
+}
+
+// Storm windows must override every market in the zone simultaneously at
+// the configured multiple of on-demand, and leave prices outside the
+// windows untouched — that coordination is the whole point of the regime.
+func TestStormOverlay(t *testing.T) {
+	const hours = 10 * 24
+	horizon := simkit.Time(hours) * simkit.Hour
+	spec := Spec{
+		Name: "s", VMs: 4, Hours: hours, Seed: 5,
+		Market: Market{Regime: "storm", Storms: 3, StormHours: 2, StormMultiple: 10},
+	}
+	rs, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := experiments.EvalTraces(horizon, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := map[string]cloud.USD{}
+	for _, typ := range cloud.DefaultCatalog() {
+		od[typ.Name] = typ.OnDemand
+	}
+	// Storm i covers [horizon·(i+1)/4, +2h).
+	for i := 0; i < 3; i++ {
+		start := horizon / 4 * simkit.Time(i+1)
+		mid := start + simkit.Hour
+		for _, k := range rs.Cfg.Traces.Keys() {
+			want := 10 * od[k.Type]
+			if got := rs.Cfg.Traces[k].PriceAt(mid); got != want {
+				t.Errorf("storm %d, market %v: price %v, want %v", i, k, got, want)
+			}
+		}
+	}
+	// Between storms the underlying trace shows through.
+	calm := horizon / 8
+	for _, k := range rs.Cfg.Traces.Keys() {
+		if got, want := rs.Cfg.Traces[k].PriceAt(calm), base[k].PriceAt(calm); got != want {
+			t.Errorf("calm window, market %v: price %v, want underlying %v", k, got, want)
+		}
+	}
+}
+
+func TestPriceWarRegime(t *testing.T) {
+	horizon := 14 * simkit.Day
+	rs, err := Compile(Spec{
+		Name: "w", VMs: 4, Hours: 14 * 24, Seed: 5,
+		Market: Market{Regime: "price-war"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := experiments.EvalTraces(horizon, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A war's mean price sits far above the paper's calm market.
+	k := spotmarket.MarketKey{Type: cloud.M3Medium, Zone: experiments.EvalZone}
+	mean := func(tr *spotmarket.Trace) float64 {
+		var sum float64
+		var n int
+		for ts := simkit.Time(0); ts < horizon; ts += simkit.Hour {
+			sum += float64(tr.PriceAt(ts))
+			n++
+		}
+		return sum / float64(n)
+	}
+	if war, calm := mean(rs.Cfg.Traces[k]), mean(base[k]); war < 2*calm {
+		t.Errorf("price-war mean %v not clearly above paper mean %v", war, calm)
+	}
+}
+
+func TestReplayRegime(t *testing.T) {
+	rs, err := Compile(Spec{
+		Name: "r", VMs: 4, Hours: 7 * 24, Seed: 5, Policy: "1P-M",
+		Market: Market{Regime: "replay", ReplayCSV: replayCSV},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := spotmarket.MarketKey{Type: cloud.M3Medium, Zone: cloud.Zone("zone-a")}
+	tr := rs.Cfg.Traces[k]
+	if tr == nil {
+		t.Fatal("replay trace missing the m3.medium market")
+	}
+	if tr.End() != 7*simkit.Day {
+		t.Errorf("replay horizon = %v, want one week", tr.End())
+	}
+	// A horizon past the archive must be rejected, not silently clamped.
+	_, err = Compile(Spec{
+		Name: "r2", VMs: 4, Hours: 14 * 24, Seed: 5, Policy: "1P-M",
+		Market: Market{Regime: "replay", ReplayCSV: replayCSV},
+	})
+	if err == nil || !strings.Contains(err.Error(), "ends at") {
+		t.Errorf("over-long replay accepted: %v", err)
+	}
+}
+
+func TestBurstOffsets(t *testing.T) {
+	rs, err := Compile(Spec{
+		Name: "b", VMs: 6, Hours: 48, Seed: 5,
+		Arrival: Arrival{Shape: "burst", WindowHours: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := rs.Cfg.ArrivalOffsets
+	if len(off) != 6 {
+		t.Fatalf("got %d offsets, want 6", len(off))
+	}
+	if off[0] != 0 {
+		t.Errorf("first burst arrival at %v, want 0", off[0])
+	}
+	window := 12 * simkit.Hour
+	for i, o := range off {
+		if want := window * simkit.Time(i) / 6; o != want {
+			t.Errorf("offset %d = %v, want %v", i, o, want)
+		}
+	}
+}
+
+// Diurnal arrivals must be deterministic, inside the window, non-decreasing
+// and clustered around the peak hour: the 6 peak-adjacent hours of a 6x
+// curve carry several times the arrivals of the 6 trough-adjacent hours.
+func TestDiurnalOffsets(t *testing.T) {
+	spec := Spec{
+		Name: "d", VMs: 48, Hours: 48, Seed: 5,
+		Arrival: Arrival{Shape: "diurnal", WindowHours: 24, PeakHour: 14, Surge: 6},
+	}
+	rs, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := rs.Cfg.ArrivalOffsets
+	if len(off) != 48 {
+		t.Fatalf("got %d offsets, want 48", len(off))
+	}
+	window := 24 * simkit.Hour
+	peakCount, troughCount := 0, 0
+	for i, o := range off {
+		if o != again.Cfg.ArrivalOffsets[i] {
+			t.Fatal("diurnal offsets not deterministic")
+		}
+		if o < 0 || o >= window {
+			t.Fatalf("offset %d = %v outside the window", i, o)
+		}
+		if i > 0 && o < off[i-1] {
+			t.Fatalf("offsets decrease at %d", i)
+		}
+		h := o.Hours()
+		if h >= 11 && h < 17 { // peak 14 ± 3
+			peakCount++
+		}
+		if h < 5 || h >= 23 { // trough 2 ± 3
+			troughCount++
+		}
+	}
+	if peakCount < 3*troughCount {
+		t.Errorf("peak hours got %d arrivals vs trough %d, want strong clustering", peakCount, troughCount)
+	}
+}

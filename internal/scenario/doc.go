@@ -1,0 +1,21 @@
+// Package scenario is the declarative experiment layer on top of the
+// policy-simulation harness: a Spec names a workload arrival shape, a spot
+// market regime and a fault campaign, and compiles into one runnable
+// experiments.RunSpec cell. Campaigns — batches of specs — fan out across
+// the experiments sweep engine, so a campaign is parallel yet its rendered
+// SLO report is byte-identical at every worker count.
+//
+// The paper evaluates SpotCheck under one market history and one arrival
+// pattern (the whole fleet at t=0); the scenario library stresses the same
+// controller with what that history leaves out: diurnal heavy-traffic
+// arrival curves, coordinated revocation storms across a zone, sustained
+// price wars, a degraded native control plane (via cloudchaos), and
+// replayed CSV price archives. Each cell reports the availability/cost SLO
+// trio — p99 per-VM downtime, degraded-time fraction, and $/VM-hour against
+// the on-demand price — plus how many faults the chaos layer actually
+// injected (the spotcheck_chaos_injected_total counter).
+//
+// Specs are plain JSON documents (LoadSpec/ParseSpec) so new scenarios need
+// no recompilation; Library returns the five named built-ins the spotsim
+// -exp scenarios command runs.
+package scenario

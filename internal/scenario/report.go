@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/simkit"
+)
+
+// CampaignTable renders a campaign's SLO report: one row per scenario with
+// the availability SLO (availability and p99 per-VM downtime), the
+// performance SLO (degraded-time fraction), the cost SLO ($/VM-hour against
+// the on-demand anchor) and the chaos ledger (injected faults, largest
+// revocation storm). Every cell is formatted from deterministic run output,
+// so the rendered bytes are identical at any sweep worker count.
+func CampaignTable(results []Result) *analysis.Table {
+	t := analysis.NewTable(
+		"Scenario campaigns: availability / cost SLO report",
+		"Scenario", "VMs", "Hours", "Avail %", "p99 down", "Degraded %",
+		"$/VM-hr", "OD $/hr", "Savings", "Faults", "Max storm")
+	for _, r := range results {
+		t.AddRow(
+			r.Spec.Name,
+			r.Spec.VMs,
+			fmt.Sprintf("%.0f", r.Spec.Hours),
+			fmt.Sprintf("%.4f", r.AvailabilityPct()),
+			fmtDowntime(r.P99Downtime),
+			fmt.Sprintf("%.3f", r.DegradedPct()),
+			fmt.Sprintf("%.4f", float64(r.CostPerVMHour())),
+			fmt.Sprintf("%.4f", float64(r.OnDemandPerHour)),
+			fmt.Sprintf("%.1fx", r.Savings()),
+			r.InjectedFaults,
+			r.Run.Report.MaxStorm,
+		)
+	}
+	return t
+}
+
+// fmtDowntime renders a downtime compactly at second resolution.
+func fmtDowntime(d simkit.Time) string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d < simkit.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d < simkit.Hour:
+		return fmt.Sprintf("%.1fm", d.Seconds()/60)
+	default:
+		return fmt.Sprintf("%.2fh", d.Hours())
+	}
+}

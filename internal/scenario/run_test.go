@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/simkit"
+)
+
+// smallCampaign scales the full library down so a test run stays fast while
+// still exercising every regime, arrival shape and the fault path.
+func smallCampaign() []Spec {
+	specs := Library()
+	for i := range specs {
+		specs[i].VMs = 8
+		specs[i].Hours = 48
+		if specs[i].Arrival.WindowHours > specs[i].Hours {
+			specs[i].Arrival.WindowHours = specs[i].Hours
+		}
+	}
+	return specs
+}
+
+func TestCampaignRunsLibrary(t *testing.T) {
+	results, err := RunCampaign(smallCampaign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Library()) {
+		t.Fatalf("got %d results, want %d", len(results), len(Library()))
+	}
+	for _, r := range results {
+		if r.Run.Report.Availability <= 0 || r.Run.Report.Availability > 1 {
+			t.Errorf("%s: availability %v out of range", r.Spec.Name, r.Run.Report.Availability)
+		}
+		if len(r.Run.VMDowntimes) != r.Spec.VMs {
+			t.Errorf("%s: %d downtimes for %d VMs", r.Spec.Name, len(r.Run.VMDowntimes), r.Spec.VMs)
+		}
+		if r.OnDemandPerHour != 0.07 {
+			t.Errorf("%s: on-demand anchor %v, want 0.07", r.Spec.Name, r.OnDemandPerHour)
+		}
+	}
+}
+
+// The slow-api campaign's injected faults must show up in the result — the
+// chaos counter flows from the wrapped platform through the run's shared
+// registry into the report (the tentpole's observability requirement).
+func TestCampaignSurfacesInjectedFaults(t *testing.T) {
+	spec, err := Named("slow-api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VMs = 8
+	spec.Hours = 48
+	results, err := RunCampaign([]Spec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.InjectedFaults <= 0 {
+		t.Errorf("slow-api injected %d faults, want > 0 at FailProb 0.25", r.InjectedFaults)
+	}
+	if got := int(r.Run.Metric("spotcheck_chaos_injected_total")); got != r.InjectedFaults {
+		t.Errorf("result count %d disagrees with counter %d", r.InjectedFaults, got)
+	}
+	// Scenarios without faults keep a clean ledger.
+	calm, err := Named("diurnal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm.VMs = 8
+	calm.Hours = 48
+	calmRes, err := RunCampaign([]Spec{calm}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calmRes[0].InjectedFaults != 0 {
+		t.Errorf("diurnal scenario injected %d faults", calmRes[0].InjectedFaults)
+	}
+}
+
+// The rendered SLO report must be byte-identical at every sweep worker
+// count — the campaign-level statement of the sweep engine's contract.
+func TestCampaignWorkerCountDeterminism(t *testing.T) {
+	specs := smallCampaign()
+	render := func(workers int) string {
+		t.Helper()
+		results, err := RunCampaign(specs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return CampaignTable(results).String()
+	}
+	seq := render(1)
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		if got := render(w); got != seq {
+			t.Errorf("report at %d workers diverged from sequential:\n%s\nvs\n%s", w, got, seq)
+		}
+	}
+}
+
+// Revocation-storm smoke for the race detector: a parallel campaign whose
+// coordinated spikes revoke every pool at once (run under -race in CI).
+func TestStormCampaignRaceSmoke(t *testing.T) {
+	spec, err := Named("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VMs = 8
+	spec.Hours = 48
+	spec.Market.Storms = 2
+	results, err := RunCampaign([]Spec{spec, spec, spec, spec}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Run.Report.MaxStorm == 0 {
+			t.Error("coordinated storm produced no concurrent revocations")
+		}
+	}
+}
+
+func TestCampaignTableColumns(t *testing.T) {
+	results, err := RunCampaign([]Spec{{Name: "one", VMs: 4, Hours: 24, Seed: 3}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CampaignTable(results).String()
+	for _, want := range []string{"Scenario", "Avail %", "p99 down", "$/VM-hr", "Faults", "one"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []simkit.Time{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(vals, 0.99); got != 10 {
+		t.Errorf("p99 of 1..10 = %v, want 10", got)
+	}
+	if got := percentile(vals, 0.5); got != 5 {
+		t.Errorf("p50 of 1..10 = %v, want 5", got)
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("p99 of empty = %v, want 0", got)
+	}
+	if got := percentile([]simkit.Time{7}, 0.99); got != 7 {
+		t.Errorf("p99 of singleton = %v, want 7", got)
+	}
+}

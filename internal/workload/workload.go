@@ -142,9 +142,18 @@ func (p Profile) ThroughputBops(c Conditions) float64 {
 		tp /= p.overloadFactor(c.BackupUtilization)
 	}
 	// Throughput saturates rather than queueing: offered load above the
-	// calibration point raises it toward capacity, never past it.
+	// calibration point raises it toward capacity, never past it. Below
+	// the calibration point the scale floors at 1, mirroring loadFactor's
+	// treatment of light load: both metrics report performance relative to
+	// the paper's baseline, and a lightly-loaded VM has lost no capacity —
+	// scaling the reported throughput down with offered load conflated
+	// "less work submitted" with "degraded performance", which poisoned
+	// any SLO computed over a load trough (e.g. a diurnal arrival curve).
 	if c.LoadFactor > 0 {
 		scale := c.LoadFactor / calibrationLoad
+		if scale < 1 {
+			scale = 1 // light load leaves baseline capacity untouched
+		}
 		if scale > 2 {
 			scale = 2 // capacity is 2x the calibration load
 		}
