@@ -336,6 +336,31 @@ func BenchmarkScaleFleet1k(b *testing.B) {
 	b.ReportMetric(res.BytesPerVM, "bytes/vm")
 }
 
+// BenchmarkScaleFleet4k4Shards runs the same rung on the parallel sharded
+// engine — four independent event loops over a 4k-VM fleet, merged into
+// one report — and gates its capacity metrics next to the single-loop
+// rung. Shard working sets are a quarter of the fleet's, so ns/vm-hour
+// here also tracks the cache-locality half of the flattening argument
+// (docs/SCALING.md, "Sharded rungs").
+func BenchmarkScaleFleet4k4Shards(b *testing.B) {
+	var res experiments.ScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunScale(experiments.ScaleConfig{
+			VMs:     4000,
+			Horizon: benchHorizon,
+			Seed:    benchSeed,
+			Shards:  4,
+			Clock:   func() int64 { return time.Now().UnixNano() },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.NsPerVMHour, "ns/vm-hour")
+	b.ReportMetric(res.BytesPerVM, "bytes/vm")
+}
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // BenchmarkAblationFlush compares ramped vs fixed checkpointing: the

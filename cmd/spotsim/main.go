@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations|catalog|scale|scenarios] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N] [-fleet N] [-scenarios names] [-scenario file.json]
+//	spotsim [-exp all|fig10|fig11|fig12|table3|headline|ablations|catalog|scale|scenarios] [-metrics] [-vms 40] [-months 6] [-seed 42] [-parallel N] [-fleet N] [-shards N] [-scenarios names] [-scenario file.json] [-cpuprofile f] [-memprofile f]
 //
 // The simulations in a batch are fully independent, so spotsim fans them
 // out across the experiments sweep engine; -parallel bounds the worker
@@ -20,7 +20,13 @@
 // The scale experiment (docs/SCALING.md) is the one member excluded from
 // -exp all: it climbs synthetic fleets of 1k/10k/100k nested VMs over the
 // full horizon and reports ns per simulated VM-hour and bytes per VM.
-// -fleet N replaces the ladder with a single rung of N VMs.
+// -fleet N replaces the ladder with a single rung of N VMs; -shards N runs
+// every rung on the parallel sharded engine (N independent event loops,
+// merged fleet report — docs/ARCHITECTURE.md, "Sharded execution").
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (the heap profile is taken after a forced GC at exit), so
+// perf work can profile any run without patching main.
 //
 // The scenarios experiment (docs/EXPERIMENTS.md, "Scenario library") runs
 // the declarative scenario campaigns of internal/scenario — diurnal
@@ -41,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -58,8 +66,11 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 42, "simulation seed")
 	flag.IntVar(&opts.parallel, "parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.IntVar(&opts.fleet, "fleet", 0, "scale experiment fleet size (0 = the 1k/10k/100k ladder)")
+	flag.IntVar(&opts.shards, "shards", 0, "scale experiment shard count (0/1 = single event loop)")
 	flag.StringVar(&opts.scenarios, "scenarios", "", "comma-separated library subset for -exp scenarios (empty = whole library)")
 	flag.StringVar(&opts.scenarioFile, "scenario", "", "JSON scenario spec file to run instead of the library")
+	flag.StringVar(&opts.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&opts.memprofile, "memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
 	if err := run(os.Stdout, opts); err != nil {
@@ -92,11 +103,63 @@ type runOpts struct {
 	metrics      bool
 	parallel     int
 	fleet        int
+	shards       int    // scale experiment shard count
 	scenarios    string // comma-separated library subset
 	scenarioFile string // JSON spec path
+	cpuprofile   string // pprof CPU profile path
+	memprofile   string // pprof heap profile path
+}
+
+// profile starts the requested pprof captures and returns the stop hook:
+// the CPU profile covers everything between the two calls, and the heap
+// profile samples live objects after a forced GC at stop time.
+func profile(o runOpts) (stop func() error, err error) {
+	var cpu *os.File
+	if o.cpuprofile != "" {
+		cpu, err = os.Create(o.cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if o.memprofile != "" {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(w io.Writer, o runOpts) error {
+	stopProfile, err := profile(o)
+	if err != nil {
+		return err
+	}
+	if err := runExperiments(w, o); err != nil {
+		stopProfile()
+		return err
+	}
+	return stopProfile()
+}
+
+func runExperiments(w io.Writer, o runOpts) error {
 	exp, vms, months, seed, metrics, parallel, fleet :=
 		o.exp, o.vms, o.months, o.seed, o.metrics, o.parallel, o.fleet
 	// Validate up front: an unknown -exp must error even when -metrics (or
@@ -183,9 +246,9 @@ func run(w io.Writer, o runOpts) error {
 		if fleet > 0 {
 			sizes = []int{fleet}
 		}
-		fmt.Fprintf(os.Stderr, "spotsim: running scale ladder %v (%.1f months)...\n", sizes, months)
+		fmt.Fprintf(os.Stderr, "spotsim: running scale ladder %v (%.1f months, %d shards)...\n", sizes, months, max(o.shards, 1))
 		rows, err := experiments.ScaleLadder(sizes, horizon, seed,
-			func() int64 { return time.Now().UnixNano() }, parallel)
+			func() int64 { return time.Now().UnixNano() }, parallel, o.shards)
 		if err != nil {
 			return err
 		}

@@ -222,3 +222,47 @@ func TestRunScenarioFile(t *testing.T) {
 		t.Error("missing spec file accepted")
 	}
 }
+
+// TestRunScaleSharded exercises `-exp scale -shards N`: the rung runs on
+// the parallel sharded engine and the capacity table carries the shard
+// count.
+func TestRunScaleSharded(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, runOpts{exp: "scale", months: 0.1, seed: 42, parallel: 1, fleet: 64, shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fleet capacity") || !strings.Contains(out, "shards") {
+		t.Errorf("sharded capacity table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "64") || !strings.Contains(out, "4") {
+		t.Errorf("sharded rung missing from output:\n%s", out)
+	}
+}
+
+// TestRunProfiles exercises -cpuprofile/-memprofile: both files must come
+// out non-empty, and an unwritable path must error rather than silently
+// dropping the profile.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var b strings.Builder
+	if err := run(&b, runOpts{exp: "headline", vms: 8, months: 0.5, seed: 42, parallel: 1,
+		cpuprofile: cpu, memprofile: mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	err := run(&b, runOpts{exp: "headline", vms: 8, months: 0.5, seed: 42, parallel: 1,
+		cpuprofile: filepath.Join(dir, "no/such/dir/cpu.pprof")})
+	if err == nil {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+}

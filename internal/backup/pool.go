@@ -90,9 +90,11 @@ func (p *Pool) AssignSpread(vmID string, dirtyMBs float64, group string) (*Serve
 		p.provision()
 	}
 	var best *Server
+	bestIdx := -1
 	bestGroup := -1
 	for i := 0; i < len(p.servers); i++ {
-		s := p.servers[(p.next+i)%len(p.servers)]
+		idx := (p.next + i) % len(p.servers)
+		s := p.servers[idx]
 		if s.Free() <= 0 {
 			continue
 		}
@@ -102,6 +104,7 @@ func (p *Pool) AssignSpread(vmID string, dirtyMBs float64, group string) (*Serve
 		}
 		if best == nil || g < bestGroup {
 			best = s
+			bestIdx = idx
 			bestGroup = g
 			if g == 0 && group != "" {
 				break // cannot do better than zero
@@ -113,19 +116,22 @@ func (p *Pool) AssignSpread(vmID string, dirtyMBs float64, group string) (*Serve
 	}
 	if best == nil {
 		best = p.provision()
-	}
-	// Advance the cursor past the chosen server. The provision-on-full path
-	// shares this scan rather than resetting the cursor to 0: an
-	// onProvision callback may re-enter the pool (assigning spares, even
-	// growing the fleet further), and a blind reset would discard the
-	// cursor position those reentrant assignments established, skewing
-	// subsequent grouped placement toward server 0.
-	for i, s := range p.servers {
-		if s == best {
-			p.next = (i + 1) % len(p.servers)
-			break
+		// The provision path re-finds the index rather than assuming
+		// len-1: an onProvision callback may re-enter the pool (assigning
+		// spares, even growing the fleet further), appending servers after
+		// the one just provisioned. A blind cursor reset to 0 would
+		// likewise discard the cursor position those reentrant
+		// assignments established, skewing grouped placement toward
+		// server 0.
+		for i, s := range p.servers {
+			if s == best {
+				bestIdx = i
+				break
+			}
 		}
 	}
+	// Advance the cursor past the chosen server.
+	p.next = (bestIdx + 1) % len(p.servers)
 	if err := best.Register(vmID, dirtyMBs); err != nil {
 		return nil, err
 	}

@@ -134,6 +134,11 @@ type Platform struct {
 	// monitor loop samples every market each tick with sim time moving
 	// forward, so a per-market cursor beats re-binary-searching the trace.
 	priceCursors map[spotmarket.MarketKey]*spotmarket.Cursor
+	// missingMarkets memoizes the not-found error per untraced market: the
+	// catalog is larger than the traced set, so the monitor probes the same
+	// missing pairs every tick and a fresh wrapped error each time is pure
+	// allocation churn.
+	missingMarkets map[spotmarket.MarketKey]error
 
 	ipPool *ipPool
 
@@ -213,15 +218,49 @@ type instanceState struct {
 	market      spotmarket.MarketKey // spot only
 	forcedKill  simkit.Event         // pending forced termination, if warned
 	terminating bool
+	// seq is the platform's launch counter for this instance — the numeric
+	// suffix of its id. Ordering spot lists by seq instead of the id string
+	// avoids the fold where "i-1000000" sorts before "i-999999" once ids
+	// outgrow their zero padding, which would turn nearly every insert into
+	// a whole-list walk.
+	seq int
+	// inList marks membership in the market's spotList, guarding against
+	// a double remove (e.g. a voluntary terminate racing a forced kill);
+	// listIdx is the entry's position there, kept current by compaction,
+	// so removal is one indexed write.
+	inList  bool
+	listIdx int
 	// reclaimed marks a spot instance the platform force-terminated (its
 	// final partial billing period is then free under period billing).
 	reclaimed bool
 }
 
-// spotList is one market's running spot instances, kept in instance-id
-// order (deterministic warning delivery without a per-sweep copy-and-sort).
+// instRef pairs an instance's slab handle with its launch seq, so ordered
+// list operations compare entries without dereferencing the slab. A zeroed
+// slot marks a dead entry awaiting compaction.
+type instRef struct {
+	slot slab.Handle
+	seq  int
+}
+
+// spotList is one market's running spot instances, kept in launch order
+// (deterministic warning delivery without a per-sweep copy-and-sort).
 type spotList struct {
-	insts []*instanceState
+	// insts holds {handle, seq} refs, not pointers: refs are
+	// pointer-free, so the slice is invisible to the GC and its copies
+	// skip the write barrier. Mutation is O(1): insertion appends
+	// (launch seqs are monotonic, so appends are already nearly sorted),
+	// removal marks the entry dead in place via the instance's cached
+	// index, and the list compacts once dead entries outnumber live
+	// ones. The warning sweep needs the historical seq-sorted delivery
+	// order, so the list re-sorts lazily (ordered) when a launch
+	// completing out of order (start latency is sampled) has dirtied it
+	// — rare next to the per-launch/destroy mutations, which a sorted
+	// scheme taxed with an O(n) memmove each.
+	insts    []instRef
+	live     int
+	unsorted bool
+	lastSeq  int // largest launch seq ever inserted
 	// minBid/minBidCount track the smallest outstanding bid and how many
 	// instances hold it; a price move that stays at or below minBid cannot
 	// underbid anyone, so the revocation sweep skips the whole market.
@@ -231,27 +270,36 @@ type spotList struct {
 }
 
 func (l *spotList) insert(st *instanceState) {
-	i := sort.Search(len(l.insts), func(i int) bool { return l.insts[i].inst.ID >= st.inst.ID })
-	l.insts = append(l.insts, nil)
-	copy(l.insts[i+1:], l.insts[i:])
-	l.insts[i] = st
+	st.inList = true
+	if len(l.insts) == 0 || st.seq > l.lastSeq {
+		l.lastSeq = st.seq
+	} else {
+		l.unsorted = true
+	}
+	st.listIdx = len(l.insts)
+	l.insts = append(l.insts, instRef{slot: st.slot, seq: st.seq})
+	l.live++
 	bid := st.inst.Bid
 	switch {
-	case len(l.insts) == 1 || (!l.minBidDirty && bid < l.minBid):
+	case l.live == 1 || (!l.minBidDirty && bid < l.minBid):
 		l.minBid, l.minBidCount, l.minBidDirty = bid, 1, false
 	case !l.minBidDirty && bid == l.minBid:
 		l.minBidCount++
 	}
 }
 
-func (l *spotList) remove(st *instanceState) {
-	i := sort.Search(len(l.insts), func(i int) bool { return l.insts[i].inst.ID >= st.inst.ID })
-	if i >= len(l.insts) || l.insts[i] != st {
+func (l *spotList) remove(s *slab.Slab[instanceState], st *instanceState) {
+	if !st.inList {
 		return
 	}
-	copy(l.insts[i:], l.insts[i+1:])
-	l.insts[len(l.insts)-1] = nil
-	l.insts = l.insts[:len(l.insts)-1]
+	st.inList = false
+	l.live--
+	if st.listIdx < len(l.insts) && l.insts[st.listIdx].slot == st.slot {
+		l.insts[st.listIdx].slot = slab.Handle{}
+	}
+	if l.live*2 < len(l.insts) {
+		l.compact(s)
+	}
 	if !l.minBidDirty && st.inst.Bid == l.minBid {
 		l.minBidCount--
 		if l.minBidCount <= 0 {
@@ -260,12 +308,47 @@ func (l *spotList) remove(st *instanceState) {
 	}
 }
 
+// compact drops dead entries, preserving the live members' order and
+// refreshing their cached positions. Only launch and destroy events mutate
+// the list, so no walk is in flight.
+func (l *spotList) compact(s *slab.Slab[instanceState]) {
+	kept := l.insts[:0]
+	for _, r := range l.insts {
+		if r.slot == (slab.Handle{}) {
+			continue
+		}
+		s.Get(r.slot).listIdx = len(kept)
+		kept = append(kept, r)
+	}
+	l.insts = kept
+}
+
+// ordered returns the list in launch order — the deterministic delivery
+// order the warning sweep relies on — restoring it first if out-of-order
+// launches have dirtied it.
+func (l *spotList) ordered(s *slab.Slab[instanceState]) []instRef {
+	if l.unsorted {
+		l.compact(s)
+		refs := l.insts
+		sort.Slice(refs, func(i, j int) bool { return refs[i].seq < refs[j].seq })
+		for i, r := range refs {
+			s.Get(r.slot).listIdx = i
+		}
+		l.unsorted = false
+	}
+	return l.insts
+}
+
 // floor returns the market's minimum outstanding bid, recomputing it after
 // the last minimum-bid holder left.
-func (l *spotList) floor() cloud.USD {
+func (l *spotList) floor(s *slab.Slab[instanceState]) cloud.USD {
 	if l.minBidDirty {
 		l.minBid, l.minBidCount = 0, 0
-		for _, st := range l.insts {
+		for _, r := range l.insts {
+			st := s.Get(r.slot)
+			if st == nil || !st.inList {
+				continue
+			}
 			switch {
 			case l.minBidCount == 0 || st.inst.Bid < l.minBid:
 				l.minBid, l.minBidCount = st.inst.Bid, 1
@@ -370,7 +453,15 @@ func (p *Platform) cursor(typ string, zone cloud.Zone) (*spotmarket.Cursor, erro
 	}
 	tr, ok := p.cfg.Traces[key]
 	if !ok {
-		return nil, fmt.Errorf("%w: no spot market for %s/%s", cloud.ErrNotFound, typ, zone)
+		err, ok := p.missingMarkets[key]
+		if !ok {
+			err = fmt.Errorf("%w: no spot market for %s/%s", cloud.ErrNotFound, typ, zone)
+			if p.missingMarkets == nil {
+				p.missingMarkets = map[spotmarket.MarketKey]error{}
+			}
+			p.missingMarkets[key] = err
+		}
+		return nil, err
 	}
 	cur := new(spotmarket.Cursor)
 	*cur = tr.Cursor()
@@ -495,6 +586,7 @@ func (p *Platform) newInstance(it cloud.InstanceType, zone cloud.Zone, market cl
 	st, h := p.instSlab.Alloc()
 	*st = instanceState{
 		slot: h,
+		seq:  p.nextInstance,
 		inst: &cloud.Instance{
 			ID: id, Type: it, Zone: zone, Market: market, Bid: bid,
 			State: cloud.StatePending,
@@ -574,7 +666,7 @@ func (p *Platform) destroy(st *instanceState) {
 	st.inst.Volumes = nil
 	if st.inst.Market == cloud.MarketSpot {
 		if list := p.spotByMarket[st.market]; list != nil {
-			list.remove(st)
+			list.remove(p.instSlab, st)
 		}
 	}
 	// Billing is finalized here: Ended is set, so AccruedCost is the
@@ -744,8 +836,12 @@ func (p *Platform) walkMarket(key spotmarket.MarketKey, tr *spotmarket.Trace) {
 			// at or below every outstanding bid cannot underbid anyone —
 			// skip the scan without touching a single instance.
 			if list := p.spotByMarket[key]; list != nil &&
-				len(list.insts) > 0 && price > list.floor() {
-				for _, st := range list.insts {
+				list.live > 0 && price > list.floor(p.instSlab) {
+				for _, r := range list.ordered(p.instSlab) {
+					st := p.instSlab.Get(r.slot)
+					if st == nil || !st.inList {
+						continue
+					}
 					if st.inst.State == cloud.StateRunning && price > st.inst.Bid {
 						p.warn(st, price)
 					}

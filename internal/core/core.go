@@ -25,8 +25,11 @@ type PoolKey struct {
 	Market cloud.Market
 }
 
+// String concatenates by hand rather than via fmt: pool keys label trace
+// events on the controller's hot path, where Sprintf's reflection is
+// measurable at fleet scale.
 func (k PoolKey) String() string {
-	return fmt.Sprintf("%s/%s/%s", k.Type, k.Zone, k.Market)
+	return k.Type + "/" + string(k.Zone) + "/" + k.Market.String()
 }
 
 // Config assembles a controller.
@@ -265,8 +268,59 @@ type hostState struct {
 	// their migration source after it terminated; a pinned host's slot is
 	// never recycled (see completeMove's dst-terminated branch).
 	pinned int
-	// inFreeSet marks membership in the pool's free-host candidate set.
+	// inFreeSet marks membership in the pool's free-host candidate set;
+	// freeIdx is the entry's position there, kept current by the lazy
+	// prune, so leaving the set is one indexed write.
 	inFreeSet bool
+	freeIdx   int
+	// inHosts marks membership in the pool's host list; poolIdx is the
+	// entry's position there, kept current by compaction and re-sorting.
+	inHosts bool
+	poolIdx int
+	// seq is the numeric tail of the instance id (see instanceSeq),
+	// cached when the host is bound to its instance.
+	seq uint64
+}
+
+// instanceSeq extracts the trailing decimal sequence from an instance id
+// ("i-001234" → 1234). Platform ids are zero-padded to six digits, so the
+// string order the host lists historically kept agrees with numeric order
+// up to the fleet's millionth instance — where string order folds
+// ("i-1000000" < "i-999999") and every later acquisition would splice into
+// the middle of every list. Ordering by (seq, id) preserves the historical
+// order exactly where it was well-formed and stays append-friendly past
+// the fold. Ids without trailing digits get seq 0 and order by string.
+func instanceSeq(id cloud.InstanceID) uint64 {
+	end := len(id)
+	start := end
+	for start > 0 && id[start-1] >= '0' && id[start-1] <= '9' {
+		start--
+	}
+	if start == end || end-start > 19 {
+		return 0
+	}
+	var n uint64
+	for i := start; i < end; i++ {
+		n = n*10 + uint64(id[i]-'0')
+	}
+	return n
+}
+
+// hostLess orders hosts by (seq, instance id) — numeric sequence first,
+// string id as the tie-break for foreign id formats.
+func hostLess(a, b *hostState) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.inst.ID < b.inst.ID
+}
+
+// hostRef pairs a host's slab handle with its launch seq, so the ordered
+// pool lists binary-search and compare entries without dereferencing the
+// slab. A zeroed slot marks a dead entry awaiting compaction.
+type hostRef struct {
+	slot slab.Handle
+	seq  uint64
 }
 
 func (h *hostState) free() int { return h.capacity - len(h.vms) - h.reserved }
@@ -283,15 +337,29 @@ func (h *hostState) vmByID(id nestedvm.ID) *vmState {
 type poolState struct {
 	key PoolKey
 	bid cloud.USD
-	// hosts is kept sorted by instance id — the deterministic order the
-	// sweeps and freeHost historically derived by copy-and-sort per call.
-	hosts []*hostState
-	// freeCands is a superset of the pool's hosts with free slots, also
-	// instance-id sorted. Hosts are inserted whenever their free capacity
-	// rises from zero and pruned lazily when a scan finds them full,
-	// warned or dead — so freeHost touches only plausible candidates
-	// instead of the whole pool.
-	freeCands []*hostState
+	// hosts holds the pool's hosts as hostRefs rather than *hostState:
+	// refs are pointer-free, so the list is invisible to the GC and its
+	// copies skip the write barrier. Mutation is O(1): insertion appends
+	// (launch seqs are monotonic, so appends are already nearly sorted),
+	// removal marks the entry dead in place via the host's cached index,
+	// and the list compacts once dead entries outnumber live ones. The
+	// sweeps need the historical seq-sorted walk order, so the list
+	// re-sorts lazily (orderedPoolHosts) when an out-of-order insert has
+	// dirtied it — rare next to the per-event mutations, which a sorted
+	// scheme taxed with an O(n) memmove each. hostsLive counts the live
+	// members (the number the pool gauge and the sweeps see).
+	hosts         []hostRef
+	hostsLive     int
+	hostsUnsorted bool
+	// lastSeq is the largest seq ever inserted into hosts.
+	lastSeq uint64
+	// freeCands is a superset of the pool's hosts with free slots, in
+	// arrival order: freeHost scans every candidate anyway, so the set
+	// needs no order — the historical id-ordered choice is reproduced by
+	// the scan's (free, seq, id) comparator. Hosts enter whenever their
+	// free capacity rises from zero and leave lazily when a scan finds
+	// them full, warned or dead.
+	freeCands []hostRef
 	// vmCount is the incremental sum of len(h.vms) across hosts, keeping
 	// the pool-occupancy gauge O(1) to refresh.
 	vmCount int
@@ -365,6 +433,11 @@ type Controller struct {
 	// calmCache memoizes spotCalmFor per requested-type name within one
 	// tick: every VM of a type shares the same market-calm answer.
 	calmCache map[string]bool
+	// observable enumerates the provider's (HVM type, zone) market grid,
+	// resolved once at startup: the catalog and zone set are fixed for a
+	// provider's lifetime, and caching the pairs keeps observePrices from
+	// copying the catalog — and the zone list per type — on every tick.
+	observable []observableMarket
 
 	// met holds the pre-resolved observability instruments; Stats() derives
 	// ControllerStats from it.
@@ -649,30 +722,80 @@ func (c *Controller) hostFreed(h *hostState) {
 	if pool == nil {
 		return
 	}
-	insertHostSorted(&pool.freeCands, h)
+	h.freeIdx = len(pool.freeCands)
+	pool.freeCands = append(pool.freeCands, hostRef{slot: h.slot, seq: h.seq})
 	h.inFreeSet = true
 }
 
-// insertHostSorted inserts h into an instance-id-sorted host list.
-func insertHostSorted(list *[]*hostState, h *hostState) {
-	s := *list
-	i := sort.Search(len(s), func(i int) bool { return s[i].inst.ID >= h.inst.ID })
-	s = append(s, nil)
-	copy(s[i+1:], s[i:])
-	s[i] = h
-	*list = s
+// addPoolHost enters h into its pool's host list — always an append.
+// Acquisitions complete nearly in launch order, so the list stays sorted
+// by itself; a completion landing behind a newer one (sampled launch
+// latencies reorder a burst) just dirties the order, repaired lazily the
+// next time a sweep needs the sorted walk.
+func (c *Controller) addPoolHost(pool *poolState, h *hostState) {
+	h.inHosts = true
+	if len(pool.hosts) == 0 || h.seq > pool.lastSeq {
+		pool.lastSeq = h.seq
+	} else {
+		pool.hostsUnsorted = true
+	}
+	h.poolIdx = len(pool.hosts)
+	pool.hosts = append(pool.hosts, hostRef{slot: h.slot, seq: h.seq})
+	pool.hostsLive++
 }
 
-// removeHostSorted removes h from an instance-id-sorted host list.
-func removeHostSorted(list *[]*hostState, h *hostState) {
-	s := *list
-	i := sort.Search(len(s), func(i int) bool { return s[i].inst.ID >= h.inst.ID })
-	if i >= len(s) || s[i] != h {
+// dropPoolHost removes h from its pool's host list (no-op when absent) —
+// one indexed write via the host's cached position, compacting once dead
+// entries outnumber live ones. List mutation only happens from acquisition
+// and retire events, never mid-sweep, so the compaction cannot disturb a
+// walk.
+func (c *Controller) dropPoolHost(pool *poolState, h *hostState) {
+	if !h.inHosts {
 		return
 	}
-	copy(s[i:], s[i+1:])
-	s[len(s)-1] = nil
-	*list = s[:len(s)-1]
+	h.inHosts = false
+	pool.hostsLive--
+	if h.poolIdx < len(pool.hosts) && pool.hosts[h.poolIdx].slot == h.slot {
+		pool.hosts[h.poolIdx].slot = slab.Handle{}
+	}
+	if pool.hostsLive*2 < len(pool.hosts) {
+		c.compactPoolHosts(pool)
+	}
+}
+
+// compactPoolHosts drops dead entries, preserving the live members' order
+// and refreshing their cached positions.
+func (c *Controller) compactPoolHosts(pool *poolState) {
+	kept := pool.hosts[:0]
+	for _, r := range pool.hosts {
+		if r.slot == (slab.Handle{}) {
+			continue
+		}
+		c.hostSlab.Get(r.slot).poolIdx = len(kept)
+		kept = append(kept, r)
+	}
+	pool.hosts = kept
+}
+
+// orderedPoolHosts returns the pool's host list in seq order — the
+// deterministic walk order the sweeps and reports rely on — restoring it
+// first if out-of-order acquisitions have dirtied it.
+func (c *Controller) orderedPoolHosts(pool *poolState) []hostRef {
+	if pool.hostsUnsorted {
+		c.compactPoolHosts(pool)
+		s := pool.hosts
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].seq != s[j].seq {
+				return s[i].seq < s[j].seq
+			}
+			return c.hostSlab.Get(s[i].slot).inst.ID < c.hostSlab.Get(s[j].slot).inst.ID
+		})
+		for i, r := range s {
+			c.hostSlab.Get(r.slot).poolIdx = i
+		}
+		pool.hostsUnsorted = false
+	}
+	return pool.hosts
 }
 
 // maybeScrubRentals compacts the rental ledger in fleet mode: terminated

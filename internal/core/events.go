@@ -60,7 +60,11 @@ func (l *eventLog) add(id nestedvm.ID, at simkit.Time, kind EventKind, format st
 		// Drop the oldest half rather than shifting per event.
 		evs = append(evs[:0], evs[len(evs)/2:]...)
 	}
-	l.byVM[id] = append(evs, Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	l.byVM[id] = append(evs, Event{At: at, Kind: kind, Detail: detail})
 }
 
 // drop discards a VM's timeline (slot recycling; the VM is gone for good).

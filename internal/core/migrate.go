@@ -119,7 +119,7 @@ func (c *Controller) migrateVM(vs *vmState, reason migrationReason, deadline sim
 	vs.phase = phaseMigrating
 	vs.vm.Migrations++
 	c.met.migStarted[reason].Inc()
-	c.traceEvent("vm", string(vs.vm.ID), "migration-start", "reason=%s host=%s", reason, src.inst.ID)
+	c.traceEvent("vm", string(vs.vm.ID), "migration-start", "reason="+reason.String()+" host="+string(src.inst.ID))
 	c.endLazyWindow(vs)
 	switch reason {
 	case reasonRevocation:
@@ -515,7 +515,7 @@ func (c *Controller) completeMove(vs *vmState, src, dst *hostState) {
 	if dst.key.Market == cloud.MarketSpot {
 		kind = EventReturned
 	}
-	c.record(vm.ID, kind, "now on %s (%s)", dst.inst.ID, dst.key)
+	c.record(vm.ID, kind, "now on "+string(dst.inst.ID)+" ("+dst.key.String()+")")
 
 	if c.cfg.Mechanism.UsesBackup() {
 		if dst.key.Market == cloud.MarketSpot {

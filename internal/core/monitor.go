@@ -19,6 +19,20 @@ func (c *Controller) startMonitor() {
 	c.prevPriceSpare = map[spotmarket.MarketKey]cloud.USD{}
 	c.tickPrices = map[spotmarket.MarketKey]marketSample{}
 	c.calmCache = map[string]bool{}
+	// Enumerate the observable market grid once: providers' catalogs and
+	// zone sets are fixed for their lifetime, so re-fetching (and copying)
+	// them every tick only churns the heap.
+	for _, typ := range c.prov.Catalog() {
+		if !typ.HVM {
+			continue
+		}
+		for _, zone := range c.prov.Zones() {
+			c.observable = append(c.observable, observableMarket{
+				key: spotmarket.MarketKey{Type: typ.Name, Zone: zone},
+				od:  typ.OnDemand,
+			})
+		}
+	}
 	var tick func()
 	tick = func() {
 		c.monitorEvent = simkit.Event{}
@@ -59,37 +73,40 @@ func (c *Controller) snapshotPrices() map[spotmarket.MarketKey]cloud.USD {
 	return prev
 }
 
+// observableMarket is one (HVM type, zone) pair of the provider's market
+// grid, with the type's on-demand price resolved up front.
+type observableMarket struct {
+	key spotmarket.MarketKey
+	od  cloud.USD
+}
+
 // observePrices samples every observable market's spot price. Markets with
 // price at or above the on-demand price have their lastAboveOD stamped for
 // the return hold-down. The samples also fill the tick's market snapshot,
 // so the sweeps that follow read each market's price from the snapshot
 // instead of re-walking the provider's trace cursors per pool or per VM.
+// The market grid itself comes from the startup-cached observable list, so
+// a steady-state tick allocates nothing here.
 func (c *Controller) observePrices() {
 	now := c.sched.Now()
 	clear(c.tickPrices)
 	clear(c.calmCache)
-	for _, typ := range c.prov.Catalog() {
-		if !typ.HVM {
+	for _, m := range c.observable {
+		price, err := c.prov.SpotPrice(m.key.Type, m.key.Zone)
+		if err != nil {
+			// No trace for this type/zone pair is expected — the
+			// catalog is larger than the traced market set. Anything
+			// else is a provider fault worth surfacing.
+			if !errors.Is(err, cloud.ErrNotFound) {
+				c.met.provErrs.Inc()
+			}
 			continue
 		}
-		for _, zone := range c.prov.Zones() {
-			price, err := c.prov.SpotPrice(typ.Name, zone)
-			if err != nil {
-				// No trace for this type/zone pair is expected — the
-				// catalog is larger than the traced market set. Anything
-				// else is a provider fault worth surfacing.
-				if !errors.Is(err, cloud.ErrNotFound) {
-					c.met.provErrs.Inc()
-				}
-				continue
-			}
-			key := spotmarket.MarketKey{Type: typ.Name, Zone: zone}
-			c.history.ObservePrice(key, price)
-			c.prevPrice[key] = price
-			c.tickPrices[key] = marketSample{price: price, od: typ.OnDemand, odOK: true}
-			if price >= typ.OnDemand {
-				c.lastAboveOD[key] = now
-			}
+		c.history.ObservePrice(m.key, price)
+		c.prevPrice[m.key] = price
+		c.tickPrices[m.key] = marketSample{price: price, od: m.od, odOK: true}
+		if price >= m.od {
+			c.lastAboveOD[m.key] = now
 		}
 	}
 }
@@ -103,7 +120,7 @@ func (c *Controller) proactiveSweep() {
 			continue
 		}
 		pool := c.pools[key]
-		if len(pool.hosts) == 0 {
+		if pool.hostsLive == 0 {
 			continue
 		}
 		s, ok := c.tickPrices[spotmarket.MarketKey{Type: key.Type, Zone: key.Zone}]
@@ -113,8 +130,9 @@ func (c *Controller) proactiveSweep() {
 		if s.price <= s.od || s.price > pool.bid {
 			continue
 		}
-		for _, h := range pool.hosts {
-			if h.warned {
+		for _, hh := range c.orderedPoolHosts(pool) {
+			h := c.hostSlab.Get(hh.slot)
+			if h == nil || !h.inHosts || h.warned {
 				continue
 			}
 			for _, vs := range h.vms {
@@ -139,7 +157,7 @@ func (c *Controller) predictiveSweep(prev map[spotmarket.MarketKey]cloud.USD) {
 			continue
 		}
 		pool := c.pools[key]
-		if len(pool.hosts) == 0 {
+		if pool.hostsLive == 0 {
 			continue
 		}
 		mkey := spotmarket.MarketKey{Type: key.Type, Zone: key.Zone}
@@ -154,9 +172,10 @@ func (c *Controller) predictiveSweep(prev map[spotmarket.MarketKey]cloud.USD) {
 		if float64(s.price) < threshold*float64(s.od) {
 			continue // not near the bid yet
 		}
-		for _, h := range pool.hosts {
-			if h.warned {
-				continue // too late: the real warning already fired
+		for _, hh := range c.orderedPoolHosts(pool) {
+			h := c.hostSlab.Get(hh.slot)
+			if h == nil || !h.inHosts || h.warned {
+				continue // dead entry, or too late: the warning already fired
 			}
 			for _, vs := range h.vms {
 				if vs.phase == phaseRunning {
@@ -176,8 +195,9 @@ func (c *Controller) returnSweep() {
 			continue
 		}
 		pool := c.pools[key]
-		for _, h := range pool.hosts {
-			if h.role != roleHost {
+		for _, hh := range c.orderedPoolHosts(pool) {
+			h := c.hostSlab.Get(hh.slot)
+			if h == nil || !h.inHosts || h.role != roleHost {
 				continue
 			}
 			for _, vs := range h.vms {
@@ -280,6 +300,7 @@ func (c *Controller) requestSpare() {
 		}
 		h := c.newHostState()
 		h.inst = inst
+		h.seq = instanceSeq(inst.ID)
 		h.role = roleHotSpare
 		c.hostIndex[inst.ID] = h.slot
 		c.rentals = append(c.rentals, rental{inst: inst, kind: rentalSpare})
@@ -301,7 +322,7 @@ func (c *Controller) takeSpare(slotType cloud.InstanceType) *hostState {
 		h.slotType = slotType
 		h.capacity = capacity
 		h.key = PoolKey{Type: h.inst.Type.Name, Zone: h.inst.Zone, Market: cloud.MarketOnDemand}
-		insertHostSorted(&c.poolFor(h.key).hosts, h)
+		c.addPoolHost(c.poolFor(h.key), h)
 		c.hostFreed(h)
 		c.requestSpare()
 		return h

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/simkit"
+)
+
+// TestMonitorTickSteadyStateAllocs pins the per-tick allocation fix behind
+// the flattened capacity curve: once the price windows are warm and every
+// market has been probed once, a monitor tick's sampling and sweep phases
+// must allocate nothing — the market grid is startup-cached, the sorted
+// market and pool-key sets are maintained incrementally with scratch-copy
+// snapshots, the tick sample maps are cleared in place, and missing-market
+// errors are memoized on the platform side.
+func TestMonitorTickSteadyStateAllocs(t *testing.T) {
+	r := newRig(t, nil, func(c *Config) {
+		c.Placement = Policy1PM()
+		c.Predictive = PredictiveConfig{Enabled: true}
+	})
+	for i := 0; i < 4; i++ {
+		r.request(t, "alice")
+	}
+	r.run(t, simkit.Hour)
+
+	c := r.ctrl
+	// Warm every steady-state structure: fill each market's trailing price
+	// window past its one-week ring capacity, touch every untraced
+	// catalog pair's memoized error, and size the tick maps.
+	for i := 0; i < priceWindowCap+8; i++ {
+		prev := c.snapshotPrices()
+		c.observePrices()
+		c.predictiveSweep(prev)
+		c.returnSweep()
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		prev := c.snapshotPrices()
+		c.observePrices()
+		c.predictiveSweep(prev)
+		c.returnSweep()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state monitor tick allocates %.1f objects/tick, want 0", allocs)
+	}
+}

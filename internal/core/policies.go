@@ -26,6 +26,13 @@ type History struct {
 	prices map[spotmarket.MarketKey]*priceWindow
 	// revocations counts revocation events per market.
 	revocations map[spotmarket.MarketKey]int
+	// sorted mirrors the prices keys in sorted order, maintained
+	// incrementally as ObservePrice sees new markets — the monitor's
+	// per-tick sweeps read it instead of rebuilding and re-sorting the key
+	// set every tick. scratch is the copy handed to callers (see
+	// sortedMarkets).
+	sorted  []spotmarket.MarketKey
+	scratch []spotmarket.MarketKey
 }
 
 const priceWindowCap = 24 * 7 // one week of hourly-ish samples
@@ -85,6 +92,15 @@ func (h *History) ObservePrice(key spotmarket.MarketKey, price cloud.USD) {
 	if w == nil {
 		w = &priceWindow{}
 		h.prices[key] = w
+		at := sort.Search(len(h.sorted), func(i int) bool {
+			if h.sorted[i].Type != key.Type {
+				return h.sorted[i].Type > key.Type
+			}
+			return h.sorted[i].Zone >= key.Zone
+		})
+		h.sorted = append(h.sorted, spotmarket.MarketKey{})
+		copy(h.sorted[at+1:], h.sorted[at:])
+		h.sorted[at] = key
 	}
 	w.add(float64(price))
 }
@@ -568,17 +584,11 @@ func (d DestinationPolicy) String() string {
 }
 
 // sortedMarkets returns history keys in deterministic order (test helper
-// and report ordering).
+// and report ordering). The sorted set is maintained incrementally by
+// ObservePrice, so steady-state calls neither allocate nor sort; callers
+// get a scratch copy because a sweep iterating the keys may observe new
+// markets mid-walk, which would shift the cache's backing array.
 func (h *History) sortedMarkets() []spotmarket.MarketKey {
-	keys := make([]spotmarket.MarketKey, 0, len(h.prices))
-	for k := range h.prices {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Type != keys[j].Type {
-			return keys[i].Type < keys[j].Type
-		}
-		return keys[i].Zone < keys[j].Zone
-	})
-	return keys
+	h.scratch = append(h.scratch[:0], h.sorted...)
+	return h.scratch
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/backup"
 	"repro/internal/cloud"
 	"repro/internal/nestedvm"
 	"repro/internal/simkit"
+	"repro/internal/slab"
 )
 
 // ServerOptions parameterises a nested VM request beyond the plain
@@ -58,7 +60,7 @@ func (c *Controller) RequestServerWithOptions(opts ServerOptions) (nestedvm.ID, 
 	vs.stateless = opts.Stateless
 	c.vmIndex[id] = vs.slot
 	c.met.vmsCreated.Inc()
-	c.record(id, EventRequested, "%s requested a %s (stateless=%v)", opts.Customer, opts.Type, opts.Stateless)
+	c.record(id, EventRequested, opts.Customer+" requested a "+opts.Type+" (stateless="+strconv.FormatBool(opts.Stateless)+")")
 	c.placeNew(vs, 0)
 	return id, nil
 }
@@ -207,17 +209,18 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 		}
 		h := c.newHostState()
 		h.inst = inst
+		h.seq = instanceSeq(inst.ID)
 		h.key = key
 		h.role = roleHost
 		h.slotType = slotType
 		h.capacity = acq.capacity
 		c.hostIndex[inst.ID] = h.slot
-		insertHostSorted(&pool.hosts, h)
+		c.addPoolHost(pool, h)
 		c.rentals = append(c.rentals, rental{inst: inst, kind: rentalHost})
 		c.maybeScrubRentals()
 		c.met.hostAcquired(key)
 		c.met.syncPool(pool)
-		c.traceEvent("host", string(inst.ID), "acquired", "pool=%s capacity=%d", key, acq.capacity)
+		c.traceEvent("host", string(inst.ID), "acquired", "pool="+key.String()+" capacity="+strconv.Itoa(acq.capacity))
 		if acq.capacity > 1 {
 			c.met.sliced.Inc()
 		}
@@ -250,30 +253,35 @@ func (c *Controller) acquireHost(key PoolKey, slotType cloud.InstanceType, _ *vm
 }
 
 // freeHost returns a running, unwarned host with a free slot of the given
-// slice size, preferring fuller hosts (best-fit packing), with instance ID
-// as a deterministic tie-break. It scans the pool's free-candidate set —
-// an id-sorted superset of the hosts with free slots — pruning entries
-// that have since filled, been warned or died. Scanning in id order with a
-// strict less keeps the historical full-pool scan's exact choice.
+// slice size, preferring fuller hosts (best-fit packing), with launch
+// order as a deterministic tie-break. It scans the pool's free-candidate
+// set — an unordered superset of the hosts with free slots — pruning
+// entries that have since filled, been warned or died. The set arrives in
+// event order, but the (free, seq, id) comparator picks exactly the host
+// the historical id-ordered scan's strict less chose: the lowest-id member
+// of the fullest tier.
 func (c *Controller) freeHost(pool *poolState, slotType cloud.InstanceType) *hostState {
 	var best *hostState
 	cands := pool.freeCands
 	kept := cands[:0]
-	for _, h := range cands {
+	for _, hh := range cands {
+		h := c.hostSlab.Get(hh.slot)
+		if h == nil {
+			continue // marked dead by a retire; drop the entry
+		}
 		if h.warned || h.free() <= 0 || h.inst.State != cloud.StateRunning {
 			h.inFreeSet = false
 			continue
 		}
-		kept = append(kept, h)
+		h.freeIdx = len(kept)
+		kept = append(kept, hh)
 		if h.slotType.Name != slotType.Name {
 			continue
 		}
-		if best == nil || h.free() < best.free() {
+		if best == nil || h.free() < best.free() ||
+			(h.free() == best.free() && hostLess(h, best)) {
 			best = h
 		}
-	}
-	for i := len(kept); i < len(cands); i++ {
-		cands[i] = nil
 	}
 	pool.freeCands = kept
 	return best
@@ -384,7 +392,7 @@ func (c *Controller) startService(vs *vmState, h *hostState) {
 	vm.Created = c.sched.Now()
 	vm.Ledger.Start(c.sched.Now())
 	c.syncPoolOf(h)
-	c.record(vm.ID, EventPlaced, "running on %s (%s)", h.inst.ID, h.key)
+	c.record(vm.ID, EventPlaced, "running on "+string(h.inst.ID)+" ("+h.key.String()+")")
 	// Spot-hosted VMs under a backup-using mechanism continuously
 	// checkpoint to a backup server; on-demand hosts rely on live
 	// migration and need none (§4.2).
@@ -461,6 +469,7 @@ func (c *Controller) onBackupProvisioned(srv *backup.Server) {
 		}
 		h := c.newHostState()
 		h.inst = inst
+		h.seq = instanceSeq(inst.ID)
 		h.role = roleBackup
 		c.hostIndex[inst.ID] = h.slot
 		c.backupHosts[srv.ID()] = h
@@ -560,15 +569,17 @@ func (c *Controller) maybeRetireHost(h *hostState) {
 func (c *Controller) forgetHost(h *hostState) {
 	delete(c.hostIndex, h.inst.ID)
 	if pool := c.pools[h.key]; pool != nil {
-		removeHostSorted(&pool.hosts, h)
+		c.dropPoolHost(pool, h)
 		if h.inFreeSet {
-			removeHostSorted(&pool.freeCands, h)
+			if h.freeIdx < len(pool.freeCands) && pool.freeCands[h.freeIdx].slot == h.slot {
+				pool.freeCands[h.freeIdx].slot = slab.Handle{}
+			}
 			h.inFreeSet = false
 		}
 		pool.vmCount -= len(h.vms)
 		c.met.syncPool(pool)
 	}
-	c.traceEvent("host", string(h.inst.ID), "retired", "pool=%s", h.key)
+	c.traceEvent("host", string(h.inst.ID), "retired", "pool="+h.key.String())
 	// Recycle the slot: nothing references this state anymore (no resident
 	// VMs, no reservations, no pins).
 	for i := range h.vms {

@@ -406,7 +406,11 @@ func (c *Controller) Pools() []PoolInfo {
 	for _, key := range c.sortedPoolKeys() {
 		p := c.pools[key]
 		info := PoolInfo{Key: key, Bid: p.bid, Revocations: p.revocations}
-		for _, h := range p.hosts {
+		for _, hh := range c.orderedPoolHosts(p) {
+			h := c.hostSlab.Get(hh.slot)
+			if h == nil || !h.inHosts {
+				continue
+			}
 			info.Hosts++
 			info.VMs += len(h.vms)
 			info.FreeSlots += h.free()

@@ -41,8 +41,13 @@ func NewSharded(n int, factory func(shard int) (Config, error)) (*Sharded, error
 // Shards returns the underlying controllers.
 func (s *Sharded) Shards() []*Controller { return append([]*Controller(nil), s.shards...) }
 
-// shardFor hashes a customer to its home shard (FNV-1a).
-func (s *Sharded) shardFor(customer string) *Controller {
+// ShardIndex hashes a customer name to its home shard among n shards
+// (FNV-1a). The mapping depends only on the name and the shard count —
+// never on seeds, request order or controller state — so a customer's home
+// shard is stable across runs and across processes. Callers that build
+// shards lazily (the experiments engine's parallel sharded runs) use it to
+// partition a fleet without constructing a Sharded first.
+func ShardIndex(customer string, n int) int {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -52,7 +57,12 @@ func (s *Sharded) shardFor(customer string) *Controller {
 		h ^= uint64(b)
 		h *= prime
 	}
-	return s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(n))
+}
+
+// shardFor hashes a customer to its home shard.
+func (s *Sharded) shardFor(customer string) *Controller {
+	return s.shards[ShardIndex(customer, len(s.shards))]
 }
 
 // RequestServer provisions a VM on the customer's home shard.
@@ -88,14 +98,29 @@ func (s *Sharded) DescribeVM(id nestedvm.ID) (VMInfo, error) {
 
 // Report aggregates all shards' accounting into one fleet view.
 func (s *Sharded) Report() Report {
+	reports := make([]Report, len(s.shards))
+	for i, c := range s.shards {
+		reports[i] = c.Report()
+	}
+	return MergeReports(reports)
+}
+
+// MergeReports folds per-shard Reports into one fleet view, in slice order.
+// Shards are independent by construction (own pools, own backup servers,
+// customers homed to one shard), so the fold is a plain sum — except the
+// duration totals, which are already fleet-scale per shard and would wrap
+// int64 nanoseconds if summed directly; they ride the widened durAcc
+// accumulator and saturate on clamp exactly like a single controller's
+// Report. Availability is re-derived as the VM-hour-weighted mean so the
+// merged number equals what one controller owning every VM would report.
+// The fold visits shards in slice order, so for a fixed input the merged
+// report is byte-identical no matter how many workers ran the shards.
+func MergeReports(reports []Report) Report {
 	var agg Report
 	var weightedDownNum, totalService float64
-	// Down/degraded totals are already fleet-scale per shard; summing the
-	// saturating simkit.Time values directly can wrap int64 nanoseconds,
-	// so the cross-shard sums ride the widened accumulator.
 	var down, degraded durAcc
-	for _, c := range s.shards {
-		r := c.Report()
+	for i := range reports {
+		r := reports[i]
 		if r.At > agg.At {
 			agg.At = r.At
 		}

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/cloud"
@@ -98,6 +99,23 @@ type PolicyRunConfig struct {
 	// total downtime, sorted ascending, for per-VM SLO percentiles.
 	CollectVMDowntimes bool
 
+	// Shards, when > 1, splits the fleet across that many independent
+	// single-threaded simulations — one scheduler, platform, metrics
+	// registry and controller per shard, exactly §5's "partitioning
+	// customers across multiple independent controllers" — and runs the
+	// shard event loops concurrently on a bounded worker pool. Customers
+	// keep a home shard (core.ShardIndex), per-shard policy and platform
+	// streams are seeded seed^shard, and the merged Report/Snapshot folds
+	// shards in index order, so the merged result is byte-identical at
+	// every worker count. Default 0: the single event loop the golden
+	// figures pin.
+	Shards int
+	// ShardWorkers bounds how many shard event loops run concurrently
+	// (<= 0 means GOMAXPROCS; 1 runs shards sequentially, which still
+	// flattens the capacity curve — each loop touches only its own
+	// shard-sized working set). Ignored unless Shards > 1.
+	ShardWorkers int
+
 	// FleetMode turns on every fleet-scale knob at once: pre-sized slabs
 	// and indexes on both sides (core.Config.ExpectedVMs, cloudsim
 	// ExpectedInstances), recycling of released VM state and terminated
@@ -178,8 +196,53 @@ func (r PolicyRunResult) Migrations() int {
 		r.Metric("spotcheck_migrations_aborted_total"))
 }
 
-// RunPolicy executes one policy × mechanism simulation.
+// shardPlan is the private contract between runPolicySharded and the
+// per-shard RunPolicy invocations it fans out: the global customer ring
+// (so every shard names customers consistently with the fleet-wide
+// partitioning), the local→global VM index mapping, and an optional
+// retention slot the shard parks its controller and platform in so the
+// outer capacity measurement can sample the whole fleet's live heap.
+type shardPlan struct {
+	// customers is the fleet-wide customer ring; VM with global index g is
+	// owned by customers[g%len(customers)]. Nil keeps the default 4-name
+	// ring of unsharded runs.
+	customers []string
+	// global maps this shard's local VM index to its global fleet index.
+	global []int
+	// retain, when non-nil, receives the run's controller and platform.
+	retain *shardRetain
+}
+
+type shardRetain struct {
+	ctrl *core.Controller
+	plat cloud.Provider
+}
+
+// customerFor names the owner of the VM with local index i.
+func (p *shardPlan) customerFor(i int) string {
+	if p == nil || p.customers == nil {
+		return fmt.Sprintf("customer-%d", i%4)
+	}
+	g := i
+	if p.global != nil {
+		g = p.global[i]
+	}
+	return p.customers[g%len(p.customers)]
+}
+
+// RunPolicy executes one policy × mechanism simulation. With cfg.Shards > 1
+// it becomes N independent simulations on concurrent event loops whose
+// results merge into one fleet view (see PolicyRunConfig.Shards).
 func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
+	if cfg.Shards > 1 {
+		return runPolicySharded(cfg)
+	}
+	return runPolicyOne(cfg, nil)
+}
+
+// runPolicyOne executes a single-event-loop simulation; plan is non-nil
+// only when the run is one shard of a sharded fleet.
+func runPolicyOne(cfg PolicyRunConfig, plan *shardPlan) (PolicyRunResult, error) {
 	if len(cfg.ArrivalOffsets) > 0 {
 		cfg.VMs = len(cfg.ArrivalOffsets)
 	}
@@ -267,7 +330,7 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 	var arrivalErrs []error
 	request := func(i int) error {
 		_, err := ctrl.RequestServerWithOptions(core.ServerOptions{
-			Customer:  fmt.Sprintf("customer-%d", i%4),
+			Customer:  plan.customerFor(i),
 			Type:      cloud.M3Medium,
 			Stateless: cfg.Stateless,
 		})
@@ -317,6 +380,182 @@ func RunPolicy(cfg PolicyRunConfig) (PolicyRunResult, error) {
 		res.LiveHeapBytes = ms.HeapAlloc
 		runtime.KeepAlive(ctrl)
 		runtime.KeepAlive(plat)
+	}
+	if plan != nil && plan.retain != nil {
+		plan.retain.ctrl, plan.retain.plat = ctrl, coreCfg.Provider
+	}
+	return res, nil
+}
+
+// shardCustomerRing builds the fleet-wide customer ring for an n-shard run:
+// the first perShard customer names (scanning customer-0, customer-1, ...)
+// whose core.ShardIndex home is each shard, interleaved so ring position j
+// belongs to shard j%n. VM with global index g is owned by
+// ring[g%len(ring)], so VM g lands on shard g%n — every customer keeps its
+// hash-derived home shard AND the fleet splits evenly, with each shard
+// seeing perShard distinct customers striped exactly like an unsharded
+// run's customer-%d naming. The scan is deterministic: it depends only on
+// (n, perShard), never on seeds or timing.
+func shardCustomerRing(n, perShard int) []string {
+	byShard := make([][]string, n)
+	need := n * perShard
+	for k := 0; need > 0; k++ {
+		name := fmt.Sprintf("customer-%d", k)
+		s := core.ShardIndex(name, n)
+		if len(byShard[s]) < perShard {
+			byShard[s] = append(byShard[s], name)
+			need--
+		}
+	}
+	ring := make([]string, 0, n*perShard)
+	for j := 0; j < n*perShard; j++ {
+		ring = append(ring, byShard[j%n][j/n])
+	}
+	return ring
+}
+
+// runPolicySharded fans one logical simulation out across cfg.Shards
+// independent event loops and merges the results. Each shard is a complete
+// simulation — own scheduler, platform, metrics registry, controller —
+// over the shared read-only trace set, seeded cfg.Seed^shard so policy and
+// platform streams are independent per shard (the PR-5 per-market-seed
+// idiom at shard granularity). Shards run on a bounded worker pool; since
+// every shard's outcome depends only on its own inputs and the merge folds
+// in shard index order, the merged report, snapshot and downtime list are
+// byte-identical at every worker count.
+func runPolicySharded(cfg PolicyRunConfig) (PolicyRunResult, error) {
+	n := cfg.Shards
+	if len(cfg.ArrivalOffsets) > 0 {
+		cfg.VMs = len(cfg.ArrivalOffsets)
+	}
+	if cfg.VMs == 0 {
+		cfg.VMs = 40
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = SixMonths
+	}
+	if cfg.Policy.New == nil {
+		cfg.Policy = NamedPolicyFactories()[0]
+	}
+	if cfg.VMs < n {
+		return PolicyRunResult{}, fmt.Errorf("experiments: %d VMs cannot fill %d shards", cfg.VMs, n)
+	}
+	traces := cfg.Traces
+	if traces == nil {
+		var err error
+		traces, err = EvalTraces(cfg.Horizon, cfg.Seed)
+		if err != nil {
+			return PolicyRunResult{}, err
+		}
+	}
+
+	var start int64
+	if cfg.Clock != nil {
+		start = cfg.Clock()
+	}
+
+	// Partition the fleet: VM with global index g belongs to
+	// ring[g%len(ring)], whose home shard is g%n by construction.
+	ring := shardCustomerRing(n, 4)
+	global := make([][]int, n)
+	for g := 0; g < cfg.VMs; g++ {
+		s := g % n
+		global[s] = append(global[s], g)
+	}
+
+	type shardOut struct {
+		res PolicyRunResult
+		err error
+	}
+	outs := make([]shardOut, n)
+	retains := make([]shardRetain, n)
+	workers := cfg.ShardWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for s := range idx {
+				shardCfg := cfg
+				shardCfg.Shards = 0
+				shardCfg.ShardWorkers = 0
+				shardCfg.Seed = cfg.Seed ^ int64(s)
+				shardCfg.Traces = traces
+				shardCfg.VMs = len(global[s])
+				shardCfg.Clock = nil // the fleet-level clock wraps all shards
+				if len(cfg.ArrivalOffsets) > 0 {
+					offsets := make([]simkit.Time, len(global[s]))
+					for i, g := range global[s] {
+						offsets[i] = cfg.ArrivalOffsets[g]
+					}
+					shardCfg.ArrivalOffsets = offsets
+				}
+				if cfg.Chaos != nil {
+					chaosCfg := *cfg.Chaos
+					chaosCfg.Seed ^= int64(s)
+					shardCfg.Chaos = &chaosCfg
+				}
+				plan := &shardPlan{customers: ring, global: global[s]}
+				if cfg.Clock != nil {
+					plan.retain = &retains[s]
+				}
+				res, err := runPolicyOne(shardCfg, plan)
+				outs[s] = shardOut{res: res, err: err}
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		idx <- s
+	}
+	close(idx)
+	wg.Wait()
+
+	reports := make([]core.Report, n)
+	snaps := make([]*obs.Snapshot, n)
+	var errs []error
+	var downs []simkit.Time
+	for s := range outs {
+		if outs[s].err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s, outs[s].err))
+			continue
+		}
+		reports[s] = outs[s].res.Report
+		snaps[s] = outs[s].res.Snapshot
+		downs = append(downs, outs[s].res.VMDowntimes...)
+	}
+	if len(errs) > 0 {
+		return PolicyRunResult{}, errors.Join(errs...)
+	}
+
+	res := PolicyRunResult{
+		Policy:    cfg.Policy.Name,
+		Mechanism: cfg.Mechanism,
+		Report:    core.MergeReports(reports),
+		VMs:       cfg.VMs,
+		Horizon:   cfg.Horizon,
+		Snapshot:  obs.MergeSnapshots(snaps),
+	}
+	if cfg.CollectVMDowntimes {
+		sort.Slice(downs, func(i, j int) bool { return downs[i] < downs[j] })
+		res.VMDowntimes = downs
+	}
+	if cfg.Clock != nil {
+		res.WallNs = cfg.Clock() - start
+		// Sample the live heap with every shard's object graph still
+		// reachable, so the fleet's whole footprint counts — same protocol
+		// as the single-loop run.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.LiveHeapBytes = ms.HeapAlloc
+		runtime.KeepAlive(retains)
 	}
 	return res, nil
 }

@@ -48,11 +48,20 @@ type ScaleConfig struct {
 	Traces spotmarket.Set
 	// MonitorInterval defaults to 10 minutes, matching RunPolicy.
 	MonitorInterval simkit.Time
+	// Shards, when > 1, runs the rung on the parallel sharded engine
+	// (PolicyRunConfig.Shards): the fleet splits across that many
+	// independent event loops running concurrently, and the rung's report
+	// is the merged fleet view. ShardWorkers bounds the loop concurrency
+	// (<= 0 means GOMAXPROCS).
+	Shards       int
+	ShardWorkers int
 }
 
 // ScaleResult carries one rung's capacity measurements.
 type ScaleResult struct {
-	VMs     int
+	VMs int
+	// Shards echoes the rung's shard count (0 = single event loop).
+	Shards  int
 	Horizon simkit.Time
 	// WallNs is the wall-clock time of fleet creation plus the full
 	// six-month event loop (trace generation and reporting excluded).
@@ -119,6 +128,8 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 		MonitorInterval: cfg.MonitorInterval,
 		Traces:          traces,
 		FleetMode:       true,
+		Shards:          cfg.Shards,
+		ShardWorkers:    cfg.ShardWorkers,
 		Clock:           cfg.Clock,
 	})
 	if err != nil {
@@ -130,6 +141,7 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 	// pre-construction baseline leaves the simulation's live footprint.
 	out := ScaleResult{
 		VMs:           cfg.VMs,
+		Shards:        cfg.Shards,
 		Horizon:       cfg.Horizon,
 		WallNs:        res.WallNs,
 		VMHours:       float64(cfg.VMs) * cfg.Horizon.Hours(),
@@ -152,8 +164,10 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 // generated once — fanned across the worker budget like any sweep — and
 // shared read-only by every rung; the rungs themselves run sequentially
 // because both capacity metrics are process-global measurements (wall
-// clock, live heap) that concurrent rungs would contaminate.
-func ScaleLadder(sizes []int, horizon simkit.Time, seed int64, clock func() int64, workers int) ([]ScaleResult, error) {
+// clock, live heap) that concurrent rungs would contaminate. shards > 1
+// runs every rung on the parallel sharded engine (concurrency inside a
+// rung is fine: the rung is still the only measurement in flight).
+func ScaleLadder(sizes []int, horizon simkit.Time, seed int64, clock func() int64, workers, shards int) ([]ScaleResult, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultScaleLadder()
 	}
@@ -173,6 +187,7 @@ func ScaleLadder(sizes []int, horizon simkit.Time, seed int64, clock func() int6
 			Clock:   clock,
 			Workers: workers,
 			Traces:  traces,
+			Shards:  shards,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("scale rung %d VMs: %w", n, err)
@@ -187,13 +202,18 @@ func ScaleLadder(sizes []int, horizon simkit.Time, seed int64, clock func() int6
 func ScaleTable(rows []ScaleResult) *analysis.Table {
 	t := analysis.NewTable(
 		"Fleet capacity: simulated VM-hours vs wall clock and live heap",
-		"VMs", "wall-sec", "ns/vm-hour", "MVM-hours/sec", "bytes/vm", "live-MB", "$/vm-hour", "avail-%")
+		"VMs", "shards", "wall-sec", "ns/vm-hour", "MVM-hours/sec", "bytes/vm", "live-MB", "$/vm-hour", "avail-%")
 	for _, r := range rows {
 		perSec := 0.0
 		if r.WallNs > 0 {
 			perSec = r.VMHours / (float64(r.WallNs) / 1e9) / 1e6
 		}
+		shards := r.Shards
+		if shards < 1 {
+			shards = 1
+		}
 		t.AddRow(r.VMs,
+			shards,
 			float64(r.WallNs)/1e9,
 			r.NsPerVMHour,
 			perSec,

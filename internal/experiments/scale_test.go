@@ -55,7 +55,7 @@ func TestRunScaleRequiresClock(t *testing.T) {
 // rendered capacity table carries one row per rung.
 func TestScaleLadderSharesTraces(t *testing.T) {
 	rows, err := ScaleLadder([]int{50, 100}, 2*simkit.Day, 7,
-		func() int64 { return time.Now().UnixNano() }, 2)
+		func() int64 { return time.Now().UnixNano() }, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

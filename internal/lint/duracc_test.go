@@ -120,3 +120,57 @@ func sum(spans []simkit.Time) simkit.Time {
 `
 	wantFindings(t, runOne(t, DurAcc, "internal/core", src))
 }
+
+// The cross-shard report fold (core.MergeReports) sums per-shard duration
+// totals that are each already fleet-scale, so the fold must ride durAcc:
+// the blessed shape — accumulate through durAcc method calls, assign the
+// clamped result once after the loop — is clean, while folding report
+// duration fields with += in the merge loop is exactly the wrap the
+// analyzer exists to catch.
+func TestDurAccCrossShardReportFold(t *testing.T) {
+	blessed := `package core
+
+import "repro/internal/simkit"
+
+type durAcc struct{ hi, lo int64 }
+
+func (d *durAcc) add(t simkit.Time) { d.lo += int64(t) }
+func (d *durAcc) clamp() simkit.Time { return simkit.Time(d.lo) }
+
+type report struct {
+	TotalDown, TotalDegraded simkit.Time
+}
+
+func mergeReports(reports []report) report {
+	var agg report
+	var down, degraded durAcc
+	for i := range reports {
+		down.add(reports[i].TotalDown)
+		degraded.add(reports[i].TotalDegraded)
+	}
+	agg.TotalDown = down.clamp()
+	agg.TotalDegraded = degraded.clamp()
+	return agg
+}
+`
+	wantFindings(t, runOne(t, DurAcc, "internal/core", blessed))
+
+	naive := `package core
+
+import "repro/internal/simkit"
+
+type report struct {
+	TotalDown simkit.Time
+}
+
+func mergeReports(reports []report) report {
+	var agg report
+	for i := range reports {
+		agg.TotalDown += reports[i].TotalDown
+	}
+	return agg
+}
+`
+	got := runOne(t, DurAcc, "internal/core", naive)
+	wantFindings(t, got, "duration accumulation agg.TotalDown")
+}

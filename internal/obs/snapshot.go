@@ -84,6 +84,47 @@ func (r *Registry) Snapshot() *Snapshot {
 	return snap
 }
 
+// MergeSnapshots folds per-shard snapshots into one fleet view by summing
+// every series with the same (name, labels) signature: counter values and
+// gauge end-of-run levels add, histograms add bucket-wise (bounds must
+// agree — shards run identical instrument definitions). Series order is
+// first-appearance order across the snapshots in slice order, so for a
+// fixed input the merged snapshot renders byte-identically no matter how
+// many workers produced the inputs. Inputs are not mutated.
+func MergeSnapshots(snaps []*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	index := map[string]int{} // name + labelString -> position in out.Metrics
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for i := range s.Metrics {
+			m := &s.Metrics[i]
+			sig := m.Name + labelString(m.Labels)
+			at, ok := index[sig]
+			if !ok {
+				index[sig] = len(out.Metrics)
+				c := *m
+				c.Labels = append([]Label(nil), m.Labels...)
+				c.Bounds = append([]float64(nil), m.Bounds...)
+				c.Buckets = append([]uint64(nil), m.Buckets...)
+				out.Metrics = append(out.Metrics, c)
+				continue
+			}
+			dst := &out.Metrics[at]
+			dst.Value += m.Value
+			dst.Sum += m.Sum
+			dst.Count += m.Count
+			for j := range dst.Buckets {
+				if j < len(m.Buckets) {
+					dst.Buckets[j] += m.Buckets[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
 func labelsMatch(have []Label, want []Label) bool {
 	if len(have) != len(want) {
 		return false

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeSnapshots checks the per-shard snapshot fold: same-signature
+// series sum (counters, gauges, histogram buckets), disjoint series pass
+// through, ordering is first appearance in slice order, and the inputs are
+// left untouched.
+func TestMergeSnapshots(t *testing.T) {
+	build := func(reqs, errs float64, lat []float64) *Snapshot {
+		reg := NewRegistry()
+		c := reg.Counter("requests_total", Label{Key: "shard", Value: "x"})
+		c.Add(reqs)
+		if errs > 0 {
+			reg.Counter("errors_total").Add(errs)
+		}
+		h := reg.Histogram("latency", []float64{1, 10})
+		for _, v := range lat {
+			h.Observe(v)
+		}
+		return reg.Snapshot()
+	}
+
+	a := build(3, 1, []float64{0.5, 5})
+	b := build(4, 0, []float64{20})
+	aCopy, bCopy := *a, *b
+	aMetrics := append([]Metric(nil), a.Metrics...)
+
+	m := MergeSnapshots([]*Snapshot{a, nil, b})
+
+	if got, _ := m.Value("requests_total", Label{Key: "shard", Value: "x"}); got != 7 {
+		t.Errorf("requests_total = %v, want 7", got)
+	}
+	if got := m.Total("errors_total"); got != 1 {
+		t.Errorf("errors_total = %v, want 1 (series only in one input)", got)
+	}
+	var hist *Metric
+	for i := range m.Metrics {
+		if m.Metrics[i].Name == "latency" {
+			hist = &m.Metrics[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("latency histogram missing from merge")
+	}
+	if hist.Count != 3 || hist.Sum != 25.5 {
+		t.Errorf("histogram count=%d sum=%v, want 3 and 25.5", hist.Count, hist.Sum)
+	}
+	if want := []uint64{1, 1, 1}; !reflect.DeepEqual(hist.Buckets, want) {
+		t.Errorf("histogram buckets = %v, want %v", hist.Buckets, want)
+	}
+
+	// Inputs are untouched: merging must not mutate shard snapshots.
+	if !reflect.DeepEqual(a.Metrics, aMetrics) || !reflect.DeepEqual(*a, aCopy) || !reflect.DeepEqual(*b, bCopy) {
+		t.Error("MergeSnapshots mutated an input snapshot")
+	}
+
+	// Determinism: the same inputs merge to the same bytes.
+	if again := MergeSnapshots([]*Snapshot{a, nil, b}); !reflect.DeepEqual(m, again) {
+		t.Error("MergeSnapshots is not deterministic")
+	}
+
+	if empty := MergeSnapshots(nil); len(empty.Metrics) != 0 {
+		t.Errorf("empty merge has %d series", len(empty.Metrics))
+	}
+}
